@@ -1,0 +1,289 @@
+//! GIFT baseline \[9\] (Shu et al., "Gradient-Based Fingerprinting for
+//! Indoor Localization and Tracking", TIE 2016).
+//!
+//! GIFT sidesteps absolute-RSSI instability by fingerprinting the *gradient*
+//! between consecutive scans as the user moves: each gradient fingerprint is
+//! a per-AP trend quantized to {-1, 0, +1}, associated with a floorplan
+//! **movement vector** rather than a position. Online, consecutive scans are
+//! matched against the gradient map and the user is tracked by accumulating
+//! matched movement vectors from a known start (dead reckoning).
+//!
+//! As the paper observes (Sec. V.B/V.C), this is resilient over minutes and
+//! hours but degrades badly over months: drift and AP removal corrupt
+//! gradients, and dead-reckoning accumulates every matching error.
+
+use stone::ImageCodec;
+use stone_dataset::{FingerprintDataset, Framework, Localizer, Trajectory, MISSING_RSSI_DBM};
+use stone_radio::Point2;
+
+/// Builder for the GIFT baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GiftBuilder {
+    /// Normalized-RSSI dead band below which a change counts as "flat".
+    epsilon: f32,
+}
+
+impl GiftBuilder {
+    /// Creates the builder with gradient dead band `epsilon` (normalized
+    /// RSSI units; 0.03 ≈ 3 dB).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `epsilon` is negative.
+    #[must_use]
+    pub fn new(epsilon: f32) -> Self {
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        Self { epsilon }
+    }
+}
+
+impl Default for GiftBuilder {
+    fn default() -> Self {
+        Self::new(0.03)
+    }
+}
+
+impl Framework for GiftBuilder {
+    fn name(&self) -> &str {
+        "GIFT"
+    }
+
+    fn fit(&self, train: &FingerprintDataset, _seed: u64) -> Box<dyn Localizer> {
+        Box::new(GiftLocalizer::fit(train, self.epsilon))
+    }
+}
+
+/// One gradient fingerprint: quantized per-AP trend plus the movement that
+/// produced it.
+#[derive(Debug, Clone)]
+struct GradientEntry {
+    trend: Vec<i8>,
+    movement: Point2, // displacement vector, meters
+    midpoint: Point2, // for the single-scan fallback
+}
+
+/// The deployed GIFT model.
+#[derive(Debug, Clone)]
+pub struct GiftLocalizer {
+    epsilon: f32,
+    entries: Vec<GradientEntry>,
+    /// Map-matching correction weight: after each dead-reckoning step the
+    /// estimate is pulled toward the matched edge's midpoint. The original
+    /// GIFT bounds drift with map constraints and particle filtering; this
+    /// is the equivalent lightweight correction.
+    anchor_weight: f64,
+}
+
+impl GiftLocalizer {
+    /// Builds the gradient map from the offline dataset.
+    ///
+    /// Training fingerprints are grouped per RP in the dataset's RP order
+    /// (the survey walk order); every pair of fingerprints at *adjacent* RPs
+    /// yields one gradient fingerprint per direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dataset has fewer than two RPs with records.
+    #[must_use]
+    pub fn fit(train: &FingerprintDataset, epsilon: f32) -> Self {
+        // Group record indices per RP, in dataset RP order.
+        let rps = train.rps();
+        let mut by_rp: Vec<Vec<usize>> = vec![Vec::new(); rps.len()];
+        for (i, r) in train.records().iter().enumerate() {
+            by_rp[train.rp_index(r.rp).expect("registered RP")].push(i);
+        }
+        let occupied: Vec<usize> =
+            (0..rps.len()).filter(|&i| !by_rp[i].is_empty()).collect();
+        assert!(occupied.len() >= 2, "GIFT needs records at >= 2 RPs");
+
+        let mut entries = Vec::new();
+        for w in occupied.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let pa = rps[a].pos;
+            let pb = rps[b].pos;
+            let movement = Point2::new(pb.x - pa.x, pb.y - pa.y);
+            let midpoint = pa.lerp(pb, 0.5);
+            for &ia in &by_rp[a] {
+                for &ib in &by_rp[b] {
+                    let fa = &train.records()[ia].rssi;
+                    let fb = &train.records()[ib].rssi;
+                    entries.push(GradientEntry {
+                        trend: quantized_gradient(fa, fb, epsilon),
+                        movement,
+                        midpoint,
+                    });
+                    entries.push(GradientEntry {
+                        trend: quantized_gradient(fb, fa, epsilon),
+                        movement: Point2::new(-movement.x, -movement.y),
+                        midpoint,
+                    });
+                }
+            }
+        }
+        Self { epsilon, entries, anchor_weight: 0.25 }
+    }
+
+    /// Number of stored gradient fingerprints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the gradient map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn best_match(&self, trend: &[i8]) -> &GradientEntry {
+        self.entries
+            .iter()
+            .min_by_key(|e| trend_distance(&e.trend, trend))
+            .expect("gradient map is non-empty by construction")
+    }
+}
+
+/// Quantizes the change between two consecutive scans to {-1, 0, +1} per AP.
+/// APs missing in both scans contribute 0; an AP (dis)appearing counts as a
+/// strong trend.
+fn quantized_gradient(from: &[f32], to: &[f32], epsilon: f32) -> Vec<i8> {
+    from.iter()
+        .zip(to)
+        .map(|(&a, &b)| {
+            let a_vis = a > MISSING_RSSI_DBM;
+            let b_vis = b > MISSING_RSSI_DBM;
+            match (a_vis, b_vis) {
+                (false, false) => 0,
+                (false, true) => 1,
+                (true, false) => -1,
+                (true, true) => {
+                    let d = ImageCodec::normalize(b) - ImageCodec::normalize(a);
+                    if d > epsilon {
+                        1
+                    } else if d < -epsilon {
+                        -1
+                    } else {
+                        0
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Hamming-style distance between quantized trends (disagreements weighted
+/// by severity: -1 vs +1 counts double).
+fn trend_distance(a: &[i8], b: &[i8]) -> u32 {
+    a.iter().zip(b).map(|(&x, &y)| u32::from(x.abs_diff(y))).sum()
+}
+
+impl Localizer for GiftLocalizer {
+    fn name(&self) -> &str {
+        "GIFT"
+    }
+
+    /// Single-scan fallback: GIFT has no absolute positioning, so a lone
+    /// scan is mapped to the midpoint of the best-matching gradient edge
+    /// treating the scan itself as a flat gradient. Real evaluation flows
+    /// through [`Localizer::locate_trajectory`].
+    fn locate(&self, rssi: &[f32]) -> Point2 {
+        let flat = quantized_gradient(rssi, rssi, self.epsilon);
+        self.best_match(&flat).midpoint
+    }
+
+    /// Dead-reckoned tracking from the trajectory's known start position —
+    /// the movement-vector formulation of the GIFT paper.
+    fn locate_trajectory(&mut self, traj: &Trajectory) -> Vec<Point2> {
+        if traj.is_empty() {
+            return Vec::new();
+        }
+        let mut pos = traj.start_pos();
+        let mut out = Vec::with_capacity(traj.len());
+        out.push(pos);
+        let w = self.anchor_weight;
+        for pair in traj.fingerprints.windows(2) {
+            let trend = quantized_gradient(&pair[0].rssi, &pair[1].rssi, self.epsilon);
+            let entry = self.best_match(&trend);
+            // Dead-reckon, then pull toward the matched edge's location —
+            // the map-matching constraint that keeps GIFT's error bounded.
+            let dead = Point2::new(pos.x + entry.movement.x, pos.y + entry.movement.y);
+            pos = dead.lerp(entry.midpoint, w);
+            out.push(pos);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stone_dataset::{office_suite, SuiteConfig};
+
+    #[test]
+    fn gradient_quantization_rules() {
+        let eps = 0.03;
+        // -60 -> -50 is +0.1 normalized: up.
+        assert_eq!(quantized_gradient(&[-60.0], &[-50.0], eps), vec![1]);
+        // -50 -> -60: down.
+        assert_eq!(quantized_gradient(&[-50.0], &[-60.0], eps), vec![-1]);
+        // -60 -> -59 is +0.01: flat.
+        assert_eq!(quantized_gradient(&[-60.0], &[-59.0], eps), vec![0]);
+        // Appearing / disappearing APs are strong trends.
+        assert_eq!(quantized_gradient(&[MISSING_RSSI_DBM], &[-70.0], eps), vec![1]);
+        assert_eq!(quantized_gradient(&[-70.0], &[MISSING_RSSI_DBM], eps), vec![-1]);
+        assert_eq!(
+            quantized_gradient(&[MISSING_RSSI_DBM], &[MISSING_RSSI_DBM], eps),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn trend_distance_weights_flips_double() {
+        assert_eq!(trend_distance(&[1, 0, -1], &[1, 0, -1]), 0);
+        assert_eq!(trend_distance(&[1], &[0]), 1);
+        assert_eq!(trend_distance(&[1], &[-1]), 2);
+    }
+
+    #[test]
+    fn builds_gradient_map_from_suite() {
+        let suite = office_suite(&SuiteConfig::tiny(1));
+        let gift = GiftLocalizer::fit(&suite.train, 0.03);
+        // 8 RPs -> 7 adjacent pairs; 3 FPR each -> 9 pairs per edge, both
+        // directions.
+        assert_eq!(gift.len(), 7 * 9 * 2);
+    }
+
+    #[test]
+    fn tracks_same_instance_walk_reasonably() {
+        let suite = office_suite(&SuiteConfig::tiny(2));
+        let mut gift = GiftBuilder::default().fit(&suite.train, 0);
+        let traj = &suite.buckets[0].trajectories[0];
+        let preds = gift.locate_trajectory(traj);
+        assert_eq!(preds.len(), traj.len());
+        // Start is seeded with ground truth.
+        assert!(preds[0].distance(traj.fingerprints[0].pos) < 1e-9);
+        let mean: f64 = preds
+            .iter()
+            .zip(&traj.fingerprints)
+            .map(|(p, f)| p.distance(f.pos))
+            .sum::<f64>()
+            / preds.len() as f64;
+        // Tiny suite has 6 m RP pitch; same-instance tracking should stay in
+        // the right half of the building at least.
+        assert!(mean < 20.0, "CI0 tracking error {mean:.2} m");
+    }
+
+    #[test]
+    fn no_retraining_hook() {
+        let suite = office_suite(&SuiteConfig::tiny(3));
+        let loc = GiftBuilder::default().fit(&suite.train, 0);
+        assert!(!loc.requires_retraining());
+    }
+
+    #[test]
+    fn empty_trajectory_yields_empty_path() {
+        let suite = office_suite(&SuiteConfig::tiny(4));
+        let mut gift = GiftLocalizer::fit(&suite.train, 0.03);
+        assert!(gift.locate_trajectory(&Trajectory::default()).is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! Fig. 3 — The three evaluation floorplans/paths with their AP and RP
+//! counts and temporal scales.
+//!
+//! The paper's figure is a drawing; this bench prints the same annotations
+//! for the simulated venues: path lengths, RP counts, visible-AP counts
+//! along the paths, and the collection timeline of each suite.
+//!
+//! Run: `cargo bench -p stone-bench --bench fig3_suites`
+
+use stone_bench::{banner, suite_config};
+use stone_dataset::{basement_suite, office_suite, uji_suite, LongTermSuite};
+use stone_radio::render_floorplan_ascii;
+
+fn describe(suite: &LongTermSuite) {
+    let plan = suite.env.floorplan();
+    let b = plan.bounds();
+    let rps = suite.train.rps();
+    let path_len: f64 = rps.windows(2).map(|w| w[0].pos.distance(w[1].pos)).sum();
+    // APs actually observable along the path at deployment time (Fig. 3
+    // annotates "visible WiFi APs along the paths").
+    let visible = suite.train.ap_visibility().iter().filter(|&&v| v).count();
+
+    println!("\n--- {} ({}) ---", suite.name, plan.name());
+    println!("bounds            : {:.0} x {:.0} m", b.width(), b.height());
+    println!("walls             : {}", plan.walls().len());
+    println!("path length       : {path_len:.0} m");
+    println!("reference points  : {}", rps.len());
+    println!("AP universe       : {}", suite.train.ap_count());
+    println!("visible APs (t=0) : {visible}");
+    println!(
+        "train fingerprints: {} ({} per RP)",
+        suite.train.len(),
+        suite.train.len() / rps.len().max(1)
+    );
+    println!("mean visible APs/fingerprint: {:.1}", suite.train.mean_visible_aps());
+    let labels = suite.bucket_labels();
+    println!(
+        "timeline          : {} buckets [{} ... {}], span {:.1} months",
+        labels.len(),
+        labels.first().map(String::as_str).unwrap_or("-"),
+        labels.last().map(String::as_str).unwrap_or("-"),
+        suite.buckets.last().map(|bk| bk.time.months()).unwrap_or(0.0),
+    );
+    let rp_points: Vec<_> = rps.iter().map(|rp| rp.pos).collect();
+    println!("{}", render_floorplan_ascii(plan, suite.env.aps(), &rp_points, 96));
+}
+
+fn main() {
+    banner("Fig. 3", "evaluation venues: UJI hall, Office path, Basement path");
+    let cfg = suite_config();
+    describe(&uji_suite(&cfg));
+    describe(&office_suite(&cfg));
+    describe(&basement_suite(&cfg));
+    println!(
+        "\nPaper reference: UJI = open library floor (grid RPs, 15 monthly buckets);\n\
+         Office = 48 m corridor; Basement = 61 m corridor; RPs 1 m apart;\n\
+         CI 0-2 same day (8 AM/3 PM/9 PM), CI 3-8 daily, CI 9-15 monthly."
+    );
+}

@@ -1,0 +1,58 @@
+//! Fig. 4 — Ephemerality of WiFi APs across collection instances for the
+//! Basement and Office paths.
+//!
+//! A `#` marks an AP (column) that was NOT observed at the CI (row), exactly
+//! like the black marks of the paper's figure. Expected shape: stable
+//! visibility up to CI 11, then ~20% of APs disappear (and ~50% at month 11
+//! for UJI, printed as a summary).
+//!
+//! Run: `cargo bench -p stone-bench --bench fig4_ephemerality`
+
+use stone_bench::{banner, suite_config, write_artifact};
+use stone_dataset::{basement_suite, office_suite, uji_suite, LongTermSuite};
+
+fn matrix(suite: &LongTermSuite) {
+    println!("\n--- {} : AP visibility by collection instance ---", suite.name);
+    println!("(rows = CI, columns = AP index; '#' = AP not observed)");
+    let vis = suite.visibility_matrix();
+    let ap_count = suite.train.ap_count();
+    // Column ruler every 10 APs.
+    print!("      ");
+    for a in 0..ap_count {
+        print!("{}", if a % 10 == 0 { ((a / 10) % 10).to_string() } else { " ".into() });
+    }
+    println!();
+    let mut csv = String::from("ci,ap,visible\n");
+    for (ci, row) in vis.iter().enumerate() {
+        print!("{:>5} ", suite.buckets[ci].label);
+        for (a, &v) in row.iter().enumerate() {
+            print!("{}", if v { '.' } else { '#' });
+            csv.push_str(&format!("{ci},{a},{}\n", u8::from(v)));
+        }
+        let missing = row.iter().filter(|&&v| !v).count();
+        println!("  missing {missing:>3} ({:.0}%)", missing as f64 / ap_count as f64 * 100.0);
+    }
+    write_artifact(&format!("fig4_{}.csv", suite.name.to_lowercase()), &csv);
+}
+
+fn main() {
+    banner("Fig. 4", "AP ephemerality matrices (Basement, Office) + UJI summary");
+    let cfg = suite_config();
+    matrix(&basement_suite(&cfg));
+    matrix(&office_suite(&cfg));
+
+    // The paper notes UJI loses ~50% of visible APs around month 11.
+    let uji = uji_suite(&cfg);
+    let vis = uji.visibility_matrix();
+    let count = |row: &Vec<bool>| row.iter().filter(|&&v| v).count();
+    println!("\n--- UJI summary ---");
+    for (i, row) in vis.iter().enumerate() {
+        println!("{}: {} visible APs", uji.buckets[i].label, count(row));
+    }
+    let before = count(&vis[9]) as f64;
+    let after = count(&vis[11]) as f64;
+    println!(
+        "visible-AP drop M10 -> M12: {:.0}% (paper: ~50% around month 11)",
+        (1.0 - after / before) * 100.0
+    );
+}

@@ -1,0 +1,118 @@
+//! Fig. 7 — Sensitivity of STONE to the number of fingerprints per RP
+//! (FPR), shown as a heatmap (rows = FPR, columns = timescale, cells = mean
+//! localization error) for the UJI, Basement and Office paths.
+//!
+//! Expected shape (paper Sec. V.D): FPR = 1 performs worst; increasing FPR
+//! beyond 4 brings no notable improvement. The paper repeats the experiment
+//! 10 times with shuffled fingerprints; quick mode uses fewer repeats and a
+//! subsampled FPR axis (`STONE_FULL=1` restores the full sweep).
+//!
+//! Run: `cargo bench -p stone-bench --bench fig7_fpr_sensitivity`
+
+use stone::StoneBuilder;
+use stone_bench::{banner, is_full, seed, stone_config_sweep, write_artifact};
+use stone_dataset::{
+    basement_suite, office_suite, uji_suite, Framework, LongTermSuite, SuiteConfig,
+};
+use stone_eval::{Experiment, Heatmap};
+
+fn fpr_axis() -> Vec<usize> {
+    if is_full() {
+        (1..=9).collect()
+    } else {
+        vec![1, 2, 4, 9]
+    }
+}
+
+fn repeats() -> usize {
+    if is_full() {
+        10
+    } else {
+        2
+    }
+}
+
+/// Groups bucket errors into the coarse timescale columns of Fig. 7.
+fn timescale_columns(suite: &LongTermSuite, errors: &[f64]) -> Vec<f64> {
+    // UJI: months 1-5 / 6-10 / 11-15. Office/Basement: hours (CI0-2),
+    // days (CI3-8), months (CI9-15).
+    let groups: Vec<(usize, usize)> = if suite.buckets.len() == 15 {
+        vec![(0, 5), (5, 10), (10, 15)]
+    } else {
+        vec![(0, 3), (3, 9), (9, 16)]
+    };
+    groups
+        .into_iter()
+        .map(|(a, b)| {
+            let slice = &errors[a..b.min(errors.len())];
+            slice.iter().sum::<f64>() / slice.len().max(1) as f64
+        })
+        .collect()
+}
+
+fn column_labels(suite: &LongTermSuite) -> Vec<String> {
+    if suite.buckets.len() == 15 {
+        vec!["M1-5".into(), "M6-10".into(), "M11-15".into()]
+    } else {
+        vec!["hours".into(), "days".into(), "months".into()]
+    }
+}
+
+fn sweep(name: &str, build: impl Fn(&SuiteConfig) -> LongTermSuite) {
+    let axis = fpr_axis();
+    let reps = repeats();
+    let mut rows = Vec::new();
+    for &fpr in &axis {
+        let mut acc: Vec<f64> = Vec::new();
+        for rep in 0..reps {
+            // Re-seeding per repeat shuffles which FPR fingerprints are kept
+            // (the paper's "shuffled fingerprints" repetitions).
+            let cfg = SuiteConfig::new(seed() + rep as u64).with_train_fpr(fpr);
+            let suite = build(&cfg);
+            let stone = StoneBuilder::from_config(stone_config_sweep());
+            let frameworks: Vec<&dyn Framework> = vec![&stone];
+            let report = Experiment::new(seed() + rep as u64).run(&suite, &frameworks);
+            let cols = timescale_columns(&suite, &report.series[0].mean_errors_m);
+            if acc.is_empty() {
+                acc = cols;
+            } else {
+                for (a, c) in acc.iter_mut().zip(cols) {
+                    *a += c;
+                }
+            }
+        }
+        for a in &mut acc {
+            *a /= reps as f64;
+        }
+        rows.push(acc);
+        println!("  fpr={fpr}: done ({reps} repeats)");
+    }
+
+    let cfg = SuiteConfig::new(seed());
+    let suite = build(&cfg);
+    let heat = Heatmap::new(
+        format!("STONE mean error (m) vs FPR — {name}"),
+        axis.iter().map(|f| format!("FPR={f}")).collect(),
+        column_labels(&suite),
+        rows,
+    )
+    .with_row_means();
+    println!("\n{}", heat.render());
+    write_artifact(&format!("fig7_{}.csv", name.to_lowercase()), &heat.to_csv());
+
+    // The paper's two takeaways, checked numerically.
+    let first_mean = *heat.values.first().and_then(|r| r.last()).unwrap_or(&f64::NAN);
+    let last_mean = *heat.values.last().and_then(|r| r.last()).unwrap_or(&f64::NAN);
+    println!(
+        "FPR=1 mean {first_mean:.2} m vs FPR={} mean {last_mean:.2} m \
+         (paper: FPR=1 worst; >=4 saturates)\n",
+        axis.last().unwrap()
+    );
+}
+
+fn main() {
+    banner("Fig. 7", "STONE sensitivity to fingerprints per RP (heatmaps)");
+    sweep("UJI", uji_suite);
+    sweep("Basement", basement_suite);
+    sweep("Office", office_suite);
+}

@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks for the on-device hot paths.
+//!
+//! The paper's motivation (Sec. I) includes running the whole pipeline on a
+//! smartphone; these benches measure the per-scan inference cost of each
+//! component on this machine: preprocessing, encoder forward pass, KNN
+//! query, triplet selection and one full training step.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use stone::{
+    build_encoder, EncoderConfig, FloorplanAwareSelector, ImageCodec, StoneBuilder, StoneConfig,
+    TrainIndex, TrainerConfig, TripletSelector,
+};
+use stone_dataset::{office_suite, Localizer, SuiteConfig};
+
+fn quick_suite() -> stone_dataset::LongTermSuite {
+    office_suite(&SuiteConfig::new(42))
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let suite = quick_suite();
+    let codec = ImageCodec::new(suite.train.ap_count());
+    let rssi = suite.train.records()[0].rssi.clone();
+    c.bench_function("preprocess/encode_fingerprint", |b| {
+        b.iter(|| black_box(codec.encode(black_box(&rssi))))
+    });
+}
+
+fn bench_encoder_forward(c: &mut Criterion) {
+    let suite = quick_suite();
+    let codec = ImageCodec::new(suite.train.ap_count());
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = build_encoder(&EncoderConfig::paper(codec.side(), 8), &mut rng);
+    let x = codec.encode_batch(&[suite.train.records()[0].rssi.as_slice()]);
+    c.bench_function("encoder/forward_single_scan", |b| {
+        b.iter(|| black_box(net.predict(black_box(&x))))
+    });
+}
+
+fn bench_locate(c: &mut Criterion) {
+    let suite = quick_suite();
+    let cfg = StoneConfig {
+        trainer: TrainerConfig {
+            epochs: 1,
+            triplets_per_epoch: 32,
+            batch_size: 32,
+            ..TrainerConfig::quick()
+        },
+        ..StoneConfig::quick()
+    };
+    let loc = StoneBuilder::from_config(cfg).fit(&suite.train, 1);
+    let rssi = suite.buckets[0].trajectories[0].fingerprints[0].rssi.clone();
+    c.bench_function("stone/locate_single_scan", |b| {
+        b.iter(|| black_box(loc.locate(black_box(&rssi))))
+    });
+}
+
+fn bench_triplet_selection(c: &mut Criterion) {
+    let suite = quick_suite();
+    let index = TrainIndex::new(&suite.train);
+    let sel = FloorplanAwareSelector::default();
+    c.bench_function("trainer/floorplan_aware_select", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(7),
+            |mut rng| black_box(sel.select(&index, &mut rng)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let suite = quick_suite();
+    let codec = ImageCodec::new(suite.train.ap_count());
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = build_encoder(&EncoderConfig::paper(codec.side(), 8), &mut rng);
+    let raws: Vec<&[f32]> = suite.train.records()[..16].iter().map(|r| r.rssi.as_slice()).collect();
+    let x = codec.encode_batch(&raws);
+    c.bench_function("trainer/forward_backward_batch16", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(3),
+            |mut rng| {
+                let (y, caches) = net.forward_train(black_box(&x), &mut rng);
+                let g = stone_tensor::Tensor::ones(y.shape().to_vec());
+                black_box(net.backward(&caches, &g))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_preprocess,
+        bench_encoder_forward,
+        bench_locate,
+        bench_triplet_selection,
+        bench_training_step
+);
+criterion_main!(micro);

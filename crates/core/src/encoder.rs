@@ -1,0 +1,155 @@
+//! The convolutional Siamese encoder architecture (Sec. IV.D, Fig. 1).
+
+use rand::rngs::StdRng;
+use stone_nn::{
+    Conv2d, Dense, Dropout, Flatten, GaussianNoise, L2Normalize, Relu, Sequential,
+};
+
+/// Architecture hyperparameters of the STONE encoder.
+///
+/// Paper values (Sec. IV.D): two 2×2 stride-1 convolutions with 64 and 128
+/// filters, a 100-unit FC layer, Gaussian input noise σ = 0.10, dropout
+/// between convolutions, and an embedding length chosen in `[3, 10]` per
+/// floorplan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncoderConfig {
+    /// Side of the square input fingerprint image.
+    pub input_side: usize,
+    /// Embedding dimension `d` (paper: 3–10).
+    pub embed_dim: usize,
+    /// Filters in the first convolution (paper: 64).
+    pub conv1_filters: usize,
+    /// Filters in the second convolution (paper: 128).
+    pub conv2_filters: usize,
+    /// Units in the fully-connected layer (paper: 100).
+    pub fc_units: usize,
+    /// Convolution kernel side (paper: 2).
+    pub kernel: usize,
+    /// Dropout probability between the convolutions.
+    pub dropout: f32,
+    /// Gaussian input-noise standard deviation (paper: 0.10).
+    pub noise_sigma: f32,
+}
+
+impl EncoderConfig {
+    /// The paper's architecture for a given input image side.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input side is too small for two 2×2 convolutions.
+    #[must_use]
+    pub fn paper(input_side: usize, embed_dim: usize) -> Self {
+        let cfg = Self {
+            input_side,
+            embed_dim,
+            conv1_filters: 64,
+            conv2_filters: 128,
+            fc_units: 100,
+            kernel: 2,
+            dropout: 0.25,
+            noise_sigma: 0.10,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    fn validate(&self) {
+        assert!(self.embed_dim >= 1, "embedding dimension must be >= 1");
+        assert!(
+            self.input_side >= 2 * self.kernel,
+            "input side {} too small for two {}x{} convolutions",
+            self.input_side,
+            self.kernel,
+            self.kernel
+        );
+    }
+
+    /// Spatial side after the two valid convolutions.
+    #[must_use]
+    pub fn conv_out_side(&self) -> usize {
+        self.input_side - 2 * (self.kernel - 1)
+    }
+
+    /// Flattened feature count entering the FC head.
+    #[must_use]
+    pub fn flat_features(&self) -> usize {
+        self.conv2_filters * self.conv_out_side() * self.conv_out_side()
+    }
+}
+
+/// Builds the encoder network of Fig. 1:
+///
+/// `GaussianNoise → Conv(1→c1) → ReLU → Dropout → Conv(c1→c2) → ReLU →
+/// Dropout → Flatten → Dense(fc) → ReLU → Dense(d) → L2Normalize`.
+///
+/// # Panics
+///
+/// Panics when the configuration is internally inconsistent (see
+/// [`EncoderConfig::paper`]).
+#[must_use]
+pub fn build_encoder(cfg: &EncoderConfig, rng: &mut StdRng) -> Sequential {
+    cfg.validate();
+    Sequential::new(vec![
+        Box::new(GaussianNoise::new(cfg.noise_sigma)),
+        Box::new(Conv2d::new(1, cfg.conv1_filters, cfg.kernel, 1, rng)),
+        Box::new(Relu::new()),
+        Box::new(Dropout::new(cfg.dropout)),
+        Box::new(Conv2d::new(cfg.conv1_filters, cfg.conv2_filters, cfg.kernel, 1, rng)),
+        Box::new(Relu::new()),
+        Box::new(Dropout::new(cfg.dropout)),
+        Box::new(Flatten::new()),
+        Box::new(Dense::new(cfg.flat_features(), cfg.fc_units, rng)),
+        Box::new(Relu::new()),
+        Box::new(Dense::new(cfg.fc_units, cfg.embed_dim, rng)),
+        Box::new(L2Normalize::new()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use stone_tensor::Tensor;
+
+    #[test]
+    fn paper_architecture_shapes() {
+        let cfg = EncoderConfig::paper(9, 8);
+        assert_eq!(cfg.conv_out_side(), 7);
+        assert_eq!(cfg.flat_features(), 128 * 49);
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = build_encoder(&cfg, &mut rng);
+        let x = Tensor::ones(vec![2, 1, 9, 9]);
+        let y = net.predict(&x);
+        assert_eq!(y.shape(), &[2, 8]);
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let cfg = EncoderConfig::paper(5, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = build_encoder(&cfg, &mut rng);
+        let x = stone_tensor::rng::uniform_tensor(&mut rng, vec![3, 1, 5, 5], 0.0, 1.0);
+        let y = net.predict(&x);
+        for i in 0..3 {
+            let n: f32 = y.row(i).iter().map(|&v| v * v).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-4, "row {i} norm {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_tiny_inputs() {
+        let _ = EncoderConfig::paper(3, 4);
+    }
+
+    #[test]
+    fn param_count_is_plausible() {
+        let cfg = EncoderConfig::paper(9, 8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = build_encoder(&cfg, &mut rng);
+        // conv1: 64*(1*2*2)+64; conv2: 128*(64*2*2)+128; fc: 6272*100+100;
+        // embed: 100*8+8.
+        let expected = 64 * 4 + 64 + 128 * 256 + 128 + cfg.flat_features() * 100 + 100 + 100 * 8 + 8;
+        assert_eq!(net.param_count(), expected);
+    }
+}

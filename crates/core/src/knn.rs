@@ -1,0 +1,235 @@
+//! Non-parametric KNN over encoder embeddings (Sec. III/IV.A).
+//!
+//! After the Siamese encoder is trained, the offline fingerprints are
+//! embedded and a KNN model over the embeddings predicts the user location
+//! online. The paper uses a KNN *classifier* (predicting a known RP); a
+//! distance-weighted regression mode is provided as well since it is the
+//! common LearnLoc-style variant.
+
+use std::collections::HashMap;
+
+use stone_dataset::RpId;
+use stone_radio::Point2;
+
+/// How KNN turns neighbours into a position estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KnnMode {
+    /// Majority vote over the k nearest labels; the predicted position is
+    /// the winning RP's surveyed position (the paper's classifier).
+    #[default]
+    Classify,
+    /// Inverse-distance-weighted average of the k nearest positions.
+    WeightedRegression,
+}
+
+/// A KNN model over embedding vectors.
+///
+/// # Example
+///
+/// ```
+/// use stone::{EmbeddingKnn, KnnMode};
+/// use stone_dataset::RpId;
+/// use stone_radio::Point2;
+///
+/// let mut knn = EmbeddingKnn::new(1, KnnMode::Classify);
+/// knn.insert(vec![0.0, 1.0], RpId(0), Point2::new(0.0, 0.0));
+/// knn.insert(vec![1.0, 0.0], RpId(1), Point2::new(5.0, 0.0));
+/// let p = knn.locate(&[0.9, 0.1]);
+/// assert_eq!(p, Point2::new(5.0, 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmbeddingKnn {
+    k: usize,
+    mode: KnnMode,
+    embeddings: Vec<Vec<f32>>,
+    labels: Vec<RpId>,
+    positions: Vec<Point2>,
+}
+
+impl EmbeddingKnn {
+    /// Creates an empty model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is zero.
+    #[must_use]
+    pub fn new(k: usize, mode: KnnMode) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        Self { k, mode, embeddings: Vec::new(), labels: Vec::new(), positions: Vec::new() }
+    }
+
+    /// Number of stored reference embeddings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.embeddings.len()
+    }
+
+    /// Returns `true` when no reference embeddings are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.embeddings.is_empty()
+    }
+
+    /// The neighbour count `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Adds one reference embedding.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the embedding dimension differs from previously inserted
+    /// entries.
+    pub fn insert(&mut self, embedding: Vec<f32>, label: RpId, pos: Point2) {
+        if let Some(first) = self.embeddings.first() {
+            assert_eq!(first.len(), embedding.len(), "embedding dimension mismatch");
+        }
+        self.embeddings.push(embedding);
+        self.labels.push(label);
+        self.positions.push(pos);
+    }
+
+    /// Indices and squared distances of the k nearest stored embeddings.
+    fn nearest(&self, query: &[f32]) -> Vec<(usize, f32)> {
+        let mut dists: Vec<(usize, f32)> = self
+            .embeddings
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let d: f32 = e.iter().zip(query).map(|(&a, &b)| (a - b) * (a - b)).sum();
+                (i, d)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        dists.truncate(self.k);
+        dists
+    }
+
+    /// Squared embedding distance to the single nearest reference entry — a
+    /// cheap match-confidence proxy for self-training heuristics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model is empty.
+    #[must_use]
+    pub fn nearest_distance(&self, query: &[f32]) -> f32 {
+        assert!(!self.is_empty(), "KNN model has no reference embeddings");
+        self.nearest(query)[0].1
+    }
+
+    /// Predicts the RP label (majority vote; nearest-neighbour distance
+    /// breaks ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model is empty.
+    #[must_use]
+    pub fn classify(&self, query: &[f32]) -> RpId {
+        assert!(!self.is_empty(), "KNN model has no reference embeddings");
+        let neigh = self.nearest(query);
+        let mut votes: HashMap<RpId, (usize, f32)> = HashMap::new();
+        for &(i, d) in &neigh {
+            let e = votes.entry(self.labels[i]).or_insert((0, f32::INFINITY));
+            e.0 += 1;
+            e.1 = e.1.min(d);
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| {
+                // More votes wins; then the smaller best-distance.
+                a.1 .0.cmp(&b.1 .0).then(b.1 .1.partial_cmp(&a.1 .1).expect("finite"))
+            })
+            .map(|(rp, _)| rp)
+            .expect("votes non-empty")
+    }
+
+    /// Predicts a position according to the configured [`KnnMode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model is empty.
+    #[must_use]
+    pub fn locate(&self, query: &[f32]) -> Point2 {
+        assert!(!self.is_empty(), "KNN model has no reference embeddings");
+        match self.mode {
+            KnnMode::Classify => {
+                let rp = self.classify(query);
+                let idx = self.labels.iter().position(|&l| l == rp).expect("label stored");
+                self.positions[idx]
+            }
+            KnnMode::WeightedRegression => {
+                let neigh = self.nearest(query);
+                let mut wx = 0.0;
+                let mut wy = 0.0;
+                let mut wsum = 0.0;
+                for &(i, d) in &neigh {
+                    let w = 1.0 / (f64::from(d) + 1e-6);
+                    wx += self.positions[i].x * w;
+                    wy += self.positions[i].y * w;
+                    wsum += w;
+                }
+                Point2::new(wx / wsum, wy / wsum)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(mode: KnnMode, k: usize) -> EmbeddingKnn {
+        let mut knn = EmbeddingKnn::new(k, mode);
+        // Two clusters: RP0 near (0,0) in embedding space, RP1 near (1,1).
+        knn.insert(vec![0.0, 0.0], RpId(0), Point2::new(0.0, 0.0));
+        knn.insert(vec![0.1, 0.0], RpId(0), Point2::new(0.0, 0.0));
+        knn.insert(vec![1.0, 1.0], RpId(1), Point2::new(10.0, 0.0));
+        knn.insert(vec![0.9, 1.0], RpId(1), Point2::new(10.0, 0.0));
+        knn
+    }
+
+    #[test]
+    fn classify_majority() {
+        let knn = model(KnnMode::Classify, 3);
+        assert_eq!(knn.classify(&[0.05, 0.0]), RpId(0));
+        assert_eq!(knn.classify(&[0.95, 1.0]), RpId(1));
+    }
+
+    #[test]
+    fn locate_classify_returns_rp_position() {
+        let knn = model(KnnMode::Classify, 1);
+        assert_eq!(knn.locate(&[0.0, 0.1]), Point2::new(0.0, 0.0));
+        assert_eq!(knn.locate(&[1.0, 0.9]), Point2::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn weighted_regression_interpolates() {
+        let knn = model(KnnMode::WeightedRegression, 4);
+        let p = knn.locate(&[0.5, 0.5]);
+        assert!(p.x > 0.5 && p.x < 9.5, "expected interpolation, got {p}");
+    }
+
+    #[test]
+    fn regression_near_cluster_sticks_to_it() {
+        let knn = model(KnnMode::WeightedRegression, 2);
+        let p = knn.locate(&[0.01, 0.0]);
+        assert!(p.x < 1.0, "got {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no reference embeddings")]
+    fn empty_model_panics() {
+        let knn = EmbeddingKnn::new(1, KnnMode::Classify);
+        let _ = knn.locate(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn insert_rejects_dim_change() {
+        let mut knn = EmbeddingKnn::new(1, KnnMode::Classify);
+        knn.insert(vec![0.0, 1.0], RpId(0), Point2::new(0.0, 0.0));
+        knn.insert(vec![0.0], RpId(1), Point2::new(1.0, 0.0));
+    }
+}

@@ -1,0 +1,57 @@
+//! # stone
+//!
+//! The STONE framework — *Siamese neural encoders for long-term indoor
+//! localization with mobile devices* (Tiku & Pasricha, DATE 2022) — built on
+//! the workspace substrates (`stone-tensor`, `stone-nn`, `stone-radio`,
+//! `stone-dataset`).
+//!
+//! STONE's offline phase (Fig. 2 of the paper):
+//!
+//! 1. preprocess RSSI fingerprints into square images ([`ImageCodec`],
+//!    Sec. IV.B);
+//! 2. train a convolutional Siamese encoder with triplet loss (Sec. IV.D),
+//!    using **long-term fingerprint augmentation** — random AP turn-off with
+//!    `p_turn_off ~ U(0, p_upper)` ([`ApDropoutAugmenter`], Sec. IV.C,
+//!    Eq. 4) — and **floorplan-aware triplet selection** — hard negatives
+//!    sampled from a bivariate Gaussian around the anchor RP
+//!    ([`FloorplanAwareSelector`], Sec. IV.E, Eq. 5);
+//! 3. embed the offline fingerprints and fit a non-parametric KNN model
+//!    ([`EmbeddingKnn`]).
+//!
+//! The online phase is [`StoneLocalizer`]: encode the user's scan, KNN over
+//! the embeddings, report the position — with **no re-training ever**.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use stone::StoneBuilder;
+//! use stone_dataset::{office_suite, Localizer, SuiteConfig};
+//!
+//! let suite = office_suite(&SuiteConfig::tiny(7));
+//! let localizer = StoneBuilder::quick().fit(&suite.train, 7);
+//! let test = &suite.buckets[3].trajectories[0].fingerprints[0];
+//! let predicted = localizer.locate(&test.rssi);
+//! println!("true {} predicted {}", test.pos, predicted);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod augment;
+mod encoder;
+mod knn;
+mod localizer;
+mod preprocess;
+mod trainer;
+mod triplet;
+
+pub use augment::ApDropoutAugmenter;
+pub use encoder::{build_encoder, EncoderConfig};
+pub use knn::{EmbeddingKnn, KnnMode};
+pub use localizer::{StoneBuilder, StoneConfig, StoneLocalizer};
+pub use preprocess::ImageCodec;
+pub use trainer::{EpochStats, SiameseTrainer, TrainedEncoder, TrainerConfig};
+pub use triplet::{
+    FloorplanAwareSelector, RssiHardSelector, SelectorKind, TrainIndex, Triplet, TripletSelector,
+    UniformSelector,
+};

@@ -1,0 +1,312 @@
+//! The deployable STONE localizer (the paper's Fig. 2 pipeline).
+
+use stone_dataset::{FingerprintDataset, Framework, Localizer};
+use stone_radio::Point2;
+
+use crate::knn::{EmbeddingKnn, KnnMode};
+use crate::trainer::{SiameseTrainer, TrainedEncoder, TrainerConfig};
+
+/// Full STONE configuration: trainer hyperparameters plus the KNN head.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoneConfig {
+    /// Siamese-encoder training configuration.
+    pub trainer: TrainerConfig,
+    /// Neighbour count of the embedding-space KNN.
+    pub knn_k: usize,
+    /// Position-estimation mode of the KNN head.
+    pub knn_mode: KnnMode,
+}
+
+impl StoneConfig {
+    /// Quick configuration (single-core bench scale).
+    ///
+    /// The KNN head defaults to distance-weighted regression over the
+    /// embeddings: unlike the pure classifier, a single embedding confusion
+    /// then costs a blended position instead of a full jump to the wrong
+    /// RP, which matters once the channel has drifted for months. The
+    /// paper's plain classifier remains available via
+    /// [`StoneBuilder::with_knn_mode`].
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { trainer: TrainerConfig::quick(), knn_k: 5, knn_mode: KnnMode::WeightedRegression }
+    }
+
+    /// Paper-scale configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self { trainer: TrainerConfig::paper(), ..Self::quick() }
+    }
+}
+
+impl Default for StoneConfig {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// Builder/trainer for [`StoneLocalizer`]; implements
+/// [`stone_dataset::Framework`] so it can be evaluated side-by-side with the
+/// baselines.
+///
+/// # Example
+///
+/// ```no_run
+/// use stone::StoneBuilder;
+/// use stone_dataset::{office_suite, Localizer, SuiteConfig};
+///
+/// let suite = office_suite(&SuiteConfig::tiny(1));
+/// let localizer = StoneBuilder::quick().with_embed_dim(6).fit(&suite.train, 1);
+/// let _ = localizer.locate(&suite.train.records()[0].rssi);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StoneBuilder {
+    cfg: StoneConfig,
+}
+
+impl StoneBuilder {
+    /// Builder with [`StoneConfig::quick`] defaults.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { cfg: StoneConfig::quick() }
+    }
+
+    /// Builder with [`StoneConfig::paper`] defaults.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self { cfg: StoneConfig::paper() }
+    }
+
+    /// Builder from an explicit configuration.
+    #[must_use]
+    pub fn from_config(cfg: StoneConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The current configuration.
+    #[must_use]
+    pub fn config(&self) -> &StoneConfig {
+        &self.cfg
+    }
+
+    /// Sets the embedding dimension `d`.
+    #[must_use]
+    pub fn with_embed_dim(mut self, d: usize) -> Self {
+        self.cfg.trainer.embed_dim = d;
+        self
+    }
+
+    /// Sets the triplet margin `α`.
+    #[must_use]
+    pub fn with_margin(mut self, margin: f32) -> Self {
+        self.cfg.trainer.margin = margin;
+        self
+    }
+
+    /// Sets the augmentation upper bound `p_upper` (Eq. 4).
+    #[must_use]
+    pub fn with_p_upper(mut self, p_upper: f32) -> Self {
+        self.cfg.trainer.p_upper = p_upper;
+        self
+    }
+
+    /// Sets the triplet-selection strategy.
+    #[must_use]
+    pub fn with_selector(mut self, selector: crate::SelectorKind) -> Self {
+        self.cfg.trainer.selector = selector;
+        self
+    }
+
+    /// Sets the number of training epochs.
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.cfg.trainer.epochs = epochs;
+        self
+    }
+
+    /// Sets the KNN neighbour count.
+    #[must_use]
+    pub fn with_knn_k(mut self, k: usize) -> Self {
+        self.cfg.knn_k = k;
+        self
+    }
+
+    /// Sets the KNN position mode.
+    #[must_use]
+    pub fn with_knn_mode(mut self, mode: KnnMode) -> Self {
+        self.cfg.knn_mode = mode;
+        self
+    }
+
+    /// Runs the full offline phase: trains the Siamese encoder, embeds the
+    /// offline fingerprints, and fits the KNN head.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dataset has records at fewer than two RPs.
+    #[must_use]
+    pub fn fit(&self, train: &FingerprintDataset, seed: u64) -> StoneLocalizer {
+        use rand::SeedableRng;
+
+        let encoder = SiameseTrainer::new(self.cfg.trainer).train(train, seed);
+        let mut knn = EmbeddingKnn::new(self.cfg.knn_k, self.cfg.knn_mode);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xE7_20_11);
+        let augmenter = crate::ApDropoutAugmenter::new(self.cfg.trainer.p_upper);
+        let codec = *encoder.codec();
+
+        // Embed in batches to amortize the forward pass: each record's clean
+        // image plus `enroll_augment` AP-masked variants (see
+        // `TrainerConfig::enroll_augment`).
+        let records = train.records();
+        for chunk in records.chunks(32) {
+            let mut images: Vec<Vec<f32>> = Vec::new();
+            let mut meta = Vec::new();
+            for r in chunk {
+                let pos = train.rp_position(r.rp).expect("record RP is registered");
+                let clean = codec.encode(&r.rssi);
+                for k in 0..=self.cfg.trainer.enroll_augment {
+                    let mut img = clean.clone();
+                    if k > 0 {
+                        augmenter.augment(&mut img, &mut rng);
+                    }
+                    images.push(img);
+                    meta.push((r.rp, pos));
+                }
+            }
+            let x = codec.batch_to_tensor(&images);
+            let emb = encoder.net().predict(&x);
+            for (i, (rp, pos)) in meta.into_iter().enumerate() {
+                knn.insert(emb.row(i).to_vec(), rp, pos);
+            }
+        }
+        StoneLocalizer { encoder, knn }
+    }
+}
+
+impl Framework for StoneBuilder {
+    fn name(&self) -> &str {
+        "STONE"
+    }
+
+    fn fit(&self, train: &FingerprintDataset, seed: u64) -> Box<dyn Localizer> {
+        Box::new(StoneBuilder::fit(self, train, seed))
+    }
+}
+
+/// A deployed STONE model: Siamese encoder + embedding KNN. Requires **no
+/// re-training** after deployment — the paper's headline property.
+pub struct StoneLocalizer {
+    encoder: TrainedEncoder,
+    knn: EmbeddingKnn,
+}
+
+impl StoneLocalizer {
+    /// The trained encoder (for weight export or embedding inspection).
+    #[must_use]
+    pub fn encoder(&self) -> &TrainedEncoder {
+        &self.encoder
+    }
+
+    /// The KNN head.
+    #[must_use]
+    pub fn knn(&self) -> &EmbeddingKnn {
+        &self.knn
+    }
+
+    /// Embeds a raw fingerprint (unit-norm vector of length `d`).
+    #[must_use]
+    pub fn embed(&self, rssi: &[f32]) -> Vec<f32> {
+        self.encoder.embed(rssi)
+    }
+}
+
+impl Localizer for StoneLocalizer {
+    fn name(&self) -> &str {
+        "STONE"
+    }
+
+    fn locate(&self, rssi: &[f32]) -> Point2 {
+        self.knn.locate(&self.embed(rssi))
+    }
+}
+
+impl std::fmt::Debug for StoneLocalizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "StoneLocalizer({:?}, knn_entries={})", self.encoder, self.knn.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::TrainerConfig;
+    use stone_dataset::{office_suite, SuiteConfig};
+
+    fn tiny_builder() -> StoneBuilder {
+        StoneBuilder::from_config(StoneConfig {
+            trainer: TrainerConfig {
+                embed_dim: 4,
+                epochs: 3,
+                triplets_per_epoch: 64,
+                batch_size: 16,
+                ..TrainerConfig::quick()
+            },
+            knn_k: 3,
+            knn_mode: KnnMode::Classify,
+        })
+    }
+
+    #[test]
+    fn fit_and_locate_returns_floorplan_position() {
+        let suite = office_suite(&SuiteConfig::tiny(1));
+        let loc = tiny_builder().fit(&suite.train, 1);
+        let p = loc.locate(&suite.train.records()[0].rssi);
+        let b = suite.env.floorplan().bounds();
+        assert!(b.contains(p), "{p} outside floorplan");
+    }
+
+    #[test]
+    fn training_fingerprints_locate_near_their_rp() {
+        // On its own training data a localizer must be decently accurate.
+        let suite = office_suite(&SuiteConfig::tiny(2));
+        let loc = tiny_builder().fit(&suite.train, 2);
+        let mut total = 0.0;
+        let records = suite.train.records();
+        for r in records {
+            total += loc.locate(&r.rssi).distance(r.pos);
+        }
+        let mean = total / records.len() as f64;
+        // RPs are 6 m apart in the tiny suite; training error must beat a
+        // random guess (which would be tens of meters) comfortably.
+        assert!(mean < 8.0, "training-set mean error {mean:.2} m");
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let b = StoneBuilder::quick()
+            .with_embed_dim(5)
+            .with_margin(0.7)
+            .with_p_upper(0.3)
+            .with_epochs(2)
+            .with_knn_k(7)
+            .with_knn_mode(KnnMode::WeightedRegression)
+            .with_selector(crate::SelectorKind::Uniform);
+        assert_eq!(b.config().trainer.embed_dim, 5);
+        assert_eq!(b.config().trainer.margin, 0.7);
+        assert_eq!(b.config().trainer.p_upper, 0.3);
+        assert_eq!(b.config().trainer.epochs, 2);
+        assert_eq!(b.config().knn_k, 7);
+        assert_eq!(b.config().knn_mode, KnnMode::WeightedRegression);
+        assert_eq!(b.config().trainer.selector, crate::SelectorKind::Uniform);
+    }
+
+    #[test]
+    fn framework_trait_object_works() {
+        let suite = office_suite(&SuiteConfig::tiny(3));
+        let fw: Box<dyn Framework> = Box::new(tiny_builder());
+        assert_eq!(fw.name(), "STONE");
+        let mut loc = fw.fit(&suite.train, 3);
+        assert!(!loc.requires_retraining());
+        let out = loc.locate_trajectory(&suite.buckets[0].trajectories[0]);
+        assert_eq!(out.len(), suite.buckets[0].trajectories[0].len());
+    }
+}

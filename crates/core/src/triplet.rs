@@ -1,0 +1,520 @@
+//! Triplet selection strategies (Sec. IV.E of the paper).
+//!
+//! Evaluating FaceNet's argmax/argmin hard-mining over the whole dataset is
+//! infeasible (Sec. III, Eq. 3), so STONE exploits domain structure instead:
+//! *RPs that are physically close on the floorplan produce the hardest-to-
+//! discern fingerprints*. [`FloorplanAwareSelector`] therefore samples the
+//! hard-negative RP from a bivariate Gaussian centered at the anchor RP
+//! (Eq. 5, with `P(anchor) = 0`). [`UniformSelector`] and
+//! [`RssiHardSelector`] exist as ablation comparators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use stone_dataset::{FingerprintDataset, RpId};
+use stone_radio::Point2;
+
+/// Indices (into the training records) of one anchor/positive/negative
+/// triplet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Triplet {
+    /// Anchor record index.
+    pub anchor: usize,
+    /// Positive record index (same RP as the anchor).
+    pub positive: usize,
+    /// Negative record index (different RP).
+    pub negative: usize,
+}
+
+/// Pre-grouped view of a training set used by the selectors.
+#[derive(Debug, Clone)]
+pub struct TrainIndex {
+    /// Record indices grouped by dense RP index.
+    pub by_rp: Vec<Vec<usize>>,
+    /// RP positions by dense RP index.
+    pub positions: Vec<Point2>,
+    /// RP ids by dense RP index.
+    pub ids: Vec<RpId>,
+}
+
+impl TrainIndex {
+    /// Builds the index from a dataset, keeping only RPs that actually have
+    /// records.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than two RPs have records (triplets need a
+    /// negative class).
+    #[must_use]
+    pub fn new(ds: &FingerprintDataset) -> Self {
+        let mut by_rp: Vec<Vec<usize>> = vec![Vec::new(); ds.rps().len()];
+        for (i, r) in ds.records().iter().enumerate() {
+            let idx = ds.rp_index(r.rp).expect("record RP is registered");
+            by_rp[idx].push(i);
+        }
+        let mut keep_by_rp = Vec::new();
+        let mut positions = Vec::new();
+        let mut ids = Vec::new();
+        for (idx, rec) in by_rp.into_iter().enumerate() {
+            if !rec.is_empty() {
+                keep_by_rp.push(rec);
+                positions.push(ds.rps()[idx].pos);
+                ids.push(ds.rps()[idx].id);
+            }
+        }
+        assert!(keep_by_rp.len() >= 2, "triplet selection needs records at >= 2 RPs");
+        Self { by_rp: keep_by_rp, positions, ids }
+    }
+
+    /// Number of RPs with records.
+    #[must_use]
+    pub fn rp_count(&self) -> usize {
+        self.by_rp.len()
+    }
+
+    fn random_record(&self, rp: usize, rng: &mut StdRng) -> usize {
+        let recs = &self.by_rp[rp];
+        recs[rng.gen_range(0..recs.len())]
+    }
+
+    /// A positive record for `anchor_rp` distinct from `anchor_rec` when the
+    /// RP has more than one fingerprint; with a single fingerprint per RP
+    /// the anchor doubles as its own positive (the FPR = 1 regime of
+    /// Fig. 7).
+    fn positive_record(&self, rp: usize, anchor_rec: usize, rng: &mut StdRng) -> usize {
+        let recs = &self.by_rp[rp];
+        if recs.len() == 1 {
+            return recs[0];
+        }
+        loop {
+            let cand = recs[rng.gen_range(0..recs.len())];
+            if cand != anchor_rec {
+                return cand;
+            }
+        }
+    }
+}
+
+/// A strategy choosing anchor/positive/negative training triplets.
+pub trait TripletSelector {
+    /// Short name used in reports and ablations.
+    fn name(&self) -> &'static str;
+
+    /// Selects the negative RP (dense index) for the given anchor RP.
+    fn select_negative_rp(&self, index: &TrainIndex, anchor_rp: usize, rng: &mut StdRng) -> usize;
+
+    /// Selects one full triplet.
+    fn select(&self, index: &TrainIndex, rng: &mut StdRng) -> Triplet {
+        let anchor_rp = rng.gen_range(0..index.rp_count());
+        let anchor = index.random_record(anchor_rp, rng);
+        let positive = index.positive_record(anchor_rp, anchor, rng);
+        let neg_rp = self.select_negative_rp(index, anchor_rp, rng);
+        debug_assert_ne!(neg_rp, anchor_rp, "negative RP must differ from anchor");
+        let negative = index.random_record(neg_rp, rng);
+        Triplet { anchor, positive, negative }
+    }
+}
+
+/// The paper's floorplan-aware strategy (Eq. 5): the negative RP is drawn
+/// with probability proportional to a bivariate Gaussian
+/// `N₂(μ_anchor, σ²I)` evaluated at each candidate RP, with the anchor
+/// itself excluded (`P(RP_a) = 0`). Physically-near RPs — the hardest
+/// negatives — are sampled most often.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloorplanAwareSelector {
+    sigma_m: f64,
+    uniform_mix: f64,
+}
+
+impl FloorplanAwareSelector {
+    /// Creates the selector with spatial scale `sigma_m` (meters) and the
+    /// default uniform mixture (0.25).
+    ///
+    /// The Gaussian of Eq. 5 concentrates negatives near the anchor; the
+    /// uniform component guarantees that *every* RP pair is eventually
+    /// pushed apart — without it, RPs far apart on large floorplans would
+    /// never appear in a triplet together and could collide in embedding
+    /// space.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sigma_m` is not strictly positive.
+    #[must_use]
+    pub fn new(sigma_m: f64) -> Self {
+        Self::with_uniform_mix(sigma_m, 0.25)
+    }
+
+    /// Creates the selector with an explicit uniform mixture weight in
+    /// `[0, 1]` (0 = pure Eq. 5, 1 = uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sigma_m` is not strictly positive or `uniform_mix` is
+    /// outside `[0, 1]`.
+    #[must_use]
+    pub fn with_uniform_mix(sigma_m: f64, uniform_mix: f64) -> Self {
+        assert!(sigma_m > 0.0, "sigma must be positive, got {sigma_m}");
+        assert!((0.0..=1.0).contains(&uniform_mix), "uniform_mix must be in [0, 1]");
+        Self { sigma_m, uniform_mix }
+    }
+
+    /// The spatial scale, in meters.
+    #[must_use]
+    pub fn sigma_m(&self) -> f64 {
+        self.sigma_m
+    }
+
+    /// The uniform mixture weight.
+    #[must_use]
+    pub fn uniform_mix(&self) -> f64 {
+        self.uniform_mix
+    }
+}
+
+impl Default for FloorplanAwareSelector {
+    fn default() -> Self {
+        // A few RP pitches: near neighbours dominate, but the tail still
+        // visits the rest of the floorplan.
+        Self::new(4.0)
+    }
+}
+
+impl TripletSelector for FloorplanAwareSelector {
+    fn name(&self) -> &'static str {
+        "floorplan-aware"
+    }
+
+    fn select_negative_rp(&self, index: &TrainIndex, anchor_rp: usize, rng: &mut StdRng) -> usize {
+        if rng.gen::<f64>() < self.uniform_mix {
+            return UniformSelector.select_negative_rp(index, anchor_rp, rng);
+        }
+        let mu = index.positions[anchor_rp];
+        let inv_two_sigma_sq = 1.0 / (2.0 * self.sigma_m * self.sigma_m);
+        let weights: Vec<f64> = index
+            .positions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if i == anchor_rp {
+                    0.0 // Eq. 5: P(RP_a) = 0
+                } else {
+                    (-p.sq_distance(mu) * inv_two_sigma_sq).exp()
+                }
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= f64::MIN_POSITIVE {
+            // Degenerate geometry (all other RPs extremely far): uniform.
+            let mut cand = rng.gen_range(0..index.rp_count() - 1);
+            if cand >= anchor_rp {
+                cand += 1;
+            }
+            return cand;
+        }
+        let mut u = rng.gen::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            u -= w;
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        // Floating-point slack: fall back to the last non-anchor RP.
+        if anchor_rp == index.rp_count() - 1 {
+            index.rp_count() - 2
+        } else {
+            index.rp_count() - 1
+        }
+    }
+}
+
+/// Ablation baseline: the negative RP is uniform over all non-anchor RPs
+/// (no floorplan awareness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UniformSelector;
+
+impl TripletSelector for UniformSelector {
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+
+    fn select_negative_rp(&self, index: &TrainIndex, anchor_rp: usize, rng: &mut StdRng) -> usize {
+        let mut cand = rng.gen_range(0..index.rp_count() - 1);
+        if cand >= anchor_rp {
+            cand += 1;
+        }
+        cand
+    }
+}
+
+/// Ablation baseline approximating FaceNet-style hard mining without
+/// embedding evaluations: the negative RP is chosen among the `top_k` RPs
+/// whose *RSSI-space* centroids are closest to the anchor RP's centroid.
+#[derive(Debug, Clone)]
+pub struct RssiHardSelector {
+    top_k: usize,
+    /// Row-major `[rp_count][rp_count]` centroid-distance ranking: for each
+    /// RP, the other RPs sorted by ascending fingerprint distance.
+    ranking: Vec<Vec<usize>>,
+}
+
+impl RssiHardSelector {
+    /// Builds the selector from a dataset by ranking RP fingerprint
+    /// centroids.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `top_k` is zero or the dataset has fewer than two RPs
+    /// with records.
+    #[must_use]
+    pub fn new(ds: &FingerprintDataset, top_k: usize) -> Self {
+        assert!(top_k > 0, "top_k must be positive");
+        let index = TrainIndex::new(ds);
+        let dim = ds.ap_count();
+        let centroids: Vec<Vec<f32>> = index
+            .by_rp
+            .iter()
+            .map(|recs| {
+                let mut c = vec![0.0f32; dim];
+                for &ri in recs {
+                    for (cv, &v) in c.iter_mut().zip(&ds.records()[ri].rssi) {
+                        *cv += v;
+                    }
+                }
+                for cv in &mut c {
+                    *cv /= recs.len() as f32;
+                }
+                c
+            })
+            .collect();
+        let ranking = (0..centroids.len())
+            .map(|i| {
+                let mut others: Vec<usize> =
+                    (0..centroids.len()).filter(|&j| j != i).collect();
+                others.sort_by(|&a, &b| {
+                    let da: f32 = centroids[i]
+                        .iter()
+                        .zip(&centroids[a])
+                        .map(|(&x, &y)| (x - y) * (x - y))
+                        .sum();
+                    let db: f32 = centroids[i]
+                        .iter()
+                        .zip(&centroids[b])
+                        .map(|(&x, &y)| (x - y) * (x - y))
+                        .sum();
+                    da.partial_cmp(&db).expect("finite distances")
+                });
+                others
+            })
+            .collect();
+        Self { top_k, ranking }
+    }
+}
+
+impl TripletSelector for RssiHardSelector {
+    fn name(&self) -> &'static str {
+        "rssi-hard"
+    }
+
+    fn select_negative_rp(&self, index: &TrainIndex, anchor_rp: usize, rng: &mut StdRng) -> usize {
+        let ranked = &self.ranking[anchor_rp];
+        debug_assert_eq!(ranked.len() + 1, index.rp_count());
+        let k = self.top_k.min(ranked.len());
+        ranked[rng.gen_range(0..k)]
+    }
+}
+
+/// Selector choice exposed through [`crate::TrainerConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectorKind {
+    /// The paper's floorplan-aware bivariate-Gaussian sampler.
+    #[default]
+    FloorplanAware,
+    /// Uniform negative RPs (ablation).
+    Uniform,
+    /// RSSI-space hard negatives (ablation).
+    RssiHard,
+}
+
+impl std::fmt::Display for SelectorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectorKind::FloorplanAware => write!(f, "floorplan-aware"),
+            SelectorKind::Uniform => write!(f, "uniform"),
+            SelectorKind::RssiHard => write!(f, "rssi-hard"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use stone_dataset::{office_suite, Fingerprint, ReferencePoint, SuiteConfig};
+    use stone_radio::SimTime;
+
+    fn line_dataset(n_rps: u32, fpr: usize) -> FingerprintDataset {
+        let rps: Vec<ReferencePoint> = (0..n_rps)
+            .map(|k| ReferencePoint { id: RpId(k), pos: Point2::new(f64::from(k), 0.0) })
+            .collect();
+        let mut ds = FingerprintDataset::new("line", 4, rps.clone());
+        for rp in &rps {
+            for j in 0..fpr {
+                ds.push(Fingerprint {
+                    rssi: vec![-40.0 - j as f32; 4],
+                    rp: rp.id,
+                    pos: rp.pos,
+                    time: SimTime::start(),
+                    ci: 0,
+                });
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn floorplan_aware_never_selects_anchor() {
+        let ds = line_dataset(10, 2);
+        let index = TrainIndex::new(&ds);
+        let sel = FloorplanAwareSelector::new(2.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..500 {
+            let anchor = rng.gen_range(0..index.rp_count());
+            let neg = sel.select_negative_rp(&index, anchor, &mut rng);
+            assert_ne!(neg, anchor);
+        }
+    }
+
+    #[test]
+    fn floorplan_aware_prefers_near_rps() {
+        let ds = line_dataset(20, 1);
+        let index = TrainIndex::new(&ds);
+        // Pure Eq. 5 (no uniform mixture) for the distribution check.
+        let sel = FloorplanAwareSelector::with_uniform_mix(2.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let anchor = 10;
+        let mut near = 0;
+        let mut far = 0;
+        for _ in 0..2000 {
+            let neg = sel.select_negative_rp(&index, anchor, &mut rng);
+            let d = index.positions[neg].distance(index.positions[anchor]);
+            if d <= 3.0 {
+                near += 1;
+            } else if d >= 7.0 {
+                far += 1;
+            }
+        }
+        assert!(near > 10 * far.max(1), "near {near}, far {far}");
+    }
+
+    #[test]
+    fn uniform_mix_gives_far_rps_support() {
+        // With the default mixture, even the farthest RP must eventually be
+        // drawn as a negative — the property that keeps distant RPs
+        // separated in embedding space.
+        let ds = line_dataset(20, 1);
+        let index = TrainIndex::new(&ds);
+        let sel = FloorplanAwareSelector::new(2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen_far = false;
+        for _ in 0..3000 {
+            let neg = sel.select_negative_rp(&index, 0, &mut rng);
+            if index.positions[neg].distance(index.positions[0]) > 15.0 {
+                seen_far = true;
+                break;
+            }
+        }
+        assert!(seen_far, "mixture never sampled a far negative");
+    }
+
+    #[test]
+    fn uniform_covers_all_rps() {
+        let ds = line_dataset(6, 1);
+        let index = TrainIndex::new(&ds);
+        let sel = UniformSelector;
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = vec![false; 6];
+        for _ in 0..500 {
+            seen[sel.select_negative_rp(&index, 2, &mut rng)] = true;
+        }
+        assert!(!seen[2]);
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 5);
+    }
+
+    #[test]
+    fn triplet_positive_shares_anchor_rp() {
+        let ds = line_dataset(5, 3);
+        let index = TrainIndex::new(&ds);
+        let sel = FloorplanAwareSelector::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let t = sel.select(&index, &mut rng);
+            let recs = ds.records();
+            assert_eq!(recs[t.anchor].rp, recs[t.positive].rp);
+            assert_ne!(recs[t.anchor].rp, recs[t.negative].rp);
+            assert_ne!(t.anchor, t.positive, "fpr>1 must use a distinct positive");
+        }
+    }
+
+    #[test]
+    fn single_fpr_reuses_anchor_as_positive() {
+        let ds = line_dataset(4, 1);
+        let index = TrainIndex::new(&ds);
+        let sel = UniformSelector;
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = sel.select(&index, &mut rng);
+        assert_eq!(t.anchor, t.positive);
+    }
+
+    #[test]
+    fn rssi_hard_picks_similar_centroids() {
+        // RPs 0/1 share similar fingerprints; RP 2 is very different.
+        let rps: Vec<ReferencePoint> = (0..3)
+            .map(|k| ReferencePoint { id: RpId(k), pos: Point2::new(f64::from(k) * 10.0, 0.0) })
+            .collect();
+        let mut ds = FingerprintDataset::new("c", 2, rps);
+        let mk = |v: f32, rp: u32| Fingerprint {
+            rssi: vec![v, v],
+            rp: RpId(rp),
+            pos: Point2::new(f64::from(rp) * 10.0, 0.0),
+            time: SimTime::start(),
+            ci: 0,
+        };
+        ds.push(mk(-40.0, 0));
+        ds.push(mk(-42.0, 1));
+        ds.push(mk(-90.0, 2));
+        let sel = RssiHardSelector::new(&ds, 1);
+        let index = TrainIndex::new(&ds);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Hardest negative for RP0 must be RP1 (closest centroid).
+        assert_eq!(sel.select_negative_rp(&index, 0, &mut rng), 1);
+        assert_eq!(sel.select_negative_rp(&index, 2, &mut rng), 1);
+    }
+
+    #[test]
+    fn works_on_real_suite_train_set() {
+        let suite = office_suite(&SuiteConfig::tiny(1));
+        let index = TrainIndex::new(&suite.train);
+        assert!(index.rp_count() >= 2);
+        let sel = FloorplanAwareSelector::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = sel.select(&index, &mut rng);
+        assert_ne!(
+            suite.train.records()[t.anchor].rp,
+            suite.train.records()[t.negative].rp
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2 RPs")]
+    fn index_rejects_single_rp() {
+        let rps = vec![ReferencePoint { id: RpId(0), pos: Point2::new(0.0, 0.0) }];
+        let mut ds = FingerprintDataset::new("one", 1, rps);
+        ds.push(Fingerprint {
+            rssi: vec![-40.0],
+            rp: RpId(0),
+            pos: Point2::new(0.0, 0.0),
+            time: SimTime::start(),
+            ci: 0,
+        });
+        let _ = TrainIndex::new(&ds);
+    }
+}

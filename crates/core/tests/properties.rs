@@ -1,0 +1,100 @@
+//! Property-based tests for the STONE framework components.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stone::{ApDropoutAugmenter, FloorplanAwareSelector, ImageCodec, TrainIndex, TripletSelector};
+use stone_dataset::{Fingerprint, FingerprintDataset, ReferencePoint, RpId};
+use stone_radio::{Point2, SimTime};
+
+fn arb_dataset(n_rps: u32, fpr: usize, n_aps: usize) -> FingerprintDataset {
+    let rps: Vec<ReferencePoint> = (0..n_rps)
+        .map(|k| ReferencePoint {
+            id: RpId(k),
+            pos: Point2::new(f64::from(k % 7), f64::from(k / 7)),
+        })
+        .collect();
+    let mut ds = FingerprintDataset::new("prop", n_aps, rps.clone());
+    for rp in &rps {
+        for j in 0..fpr {
+            ds.push(Fingerprint {
+                rssi: (0..n_aps)
+                    .map(|a| -30.0 - ((a as f32 + j as f32 + rp.id.0 as f32) % 60.0))
+                    .collect(),
+                rp: rp.id,
+                pos: rp.pos,
+                time: SimTime::start(),
+                ci: 0,
+            });
+        }
+    }
+    ds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn normalize_maps_into_unit_interval(v in -200.0f32..50.0) {
+        let n = ImageCodec::normalize(v);
+        prop_assert!((0.0..=1.0).contains(&n));
+    }
+
+    #[test]
+    fn normalize_is_monotone(a in -100.0f32..0.0, b in -100.0f32..0.0) {
+        if a <= b {
+            prop_assert!(ImageCodec::normalize(a) <= ImageCodec::normalize(b));
+        }
+    }
+
+    #[test]
+    fn codec_side_covers_ap_count(n in 1usize..500) {
+        let codec = ImageCodec::new(n);
+        prop_assert!(codec.pixels() >= n);
+        prop_assert!((codec.side() - 1) * (codec.side() - 1) < n);
+    }
+
+    #[test]
+    fn encode_preserves_ap_pixels(n in 2usize..40, seed in 0u64..100) {
+        let codec = ImageCodec::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let rssi: Vec<f32> = (0..n).map(|_| rng.gen_range(-100.0f32..0.0)).collect();
+        let img = codec.encode(&rssi);
+        for (i, &v) in rssi.iter().enumerate() {
+            prop_assert!((img[i] - ImageCodec::normalize(v)).abs() < 1e-6);
+        }
+        for &p in &img[n..] {
+            prop_assert_eq!(p, 0.0);
+        }
+    }
+
+    #[test]
+    fn augmentation_only_zeroes(seed in 0u64..200, p_upper in 0.0f32..=1.0) {
+        let aug = ApDropoutAugmenter::new(p_upper);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let before: Vec<f32> = (0..30).map(|i| if i % 4 == 0 { 0.0 } else { 0.1 + 0.02 * i as f32 }).collect();
+        let mut after = before.clone();
+        aug.augment(&mut after, &mut rng);
+        for (b, a) in before.iter().zip(&after) {
+            // Each pixel is either untouched or zeroed — never altered.
+            prop_assert!(*a == *b || *a == 0.0);
+        }
+    }
+
+    #[test]
+    fn selector_invariants(seed in 0u64..200, n_rps in 3u32..25, fpr in 1usize..5) {
+        let ds = arb_dataset(n_rps, fpr, 9);
+        let index = TrainIndex::new(&ds);
+        let sel = FloorplanAwareSelector::new(2.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = sel.select(&index, &mut rng);
+        let recs = ds.records();
+        // Anchor and positive share an RP; negative differs.
+        prop_assert_eq!(recs[t.anchor].rp, recs[t.positive].rp);
+        prop_assert_ne!(recs[t.anchor].rp, recs[t.negative].rp);
+        if fpr > 1 {
+            prop_assert_ne!(t.anchor, t.positive);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! CSV import/export of fingerprint datasets.
+//!
+//! The format mirrors common public fingerprint datasets (one row per scan,
+//! one column per AP, then label columns):
+//!
+//! ```text
+//! ap000,ap001,...,rp,x,y,time_h,ci
+//! -62.0,-100.0,...,3,4.50,1.00,8.000,0
+//! ```
+
+use std::fmt::Write as _;
+
+use stone_radio::{Point2, SimTime};
+
+use crate::dataset::FingerprintDataset;
+use crate::types::{Fingerprint, ReferencePoint, RpId};
+
+/// Errors produced when parsing a CSV dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CsvError {
+    /// The header row is missing or malformed.
+    BadHeader,
+    /// A data row has the wrong number of fields or an unparsable value.
+    BadRow {
+        /// 1-based row number (excluding the header).
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadHeader => write!(f, "missing or malformed CSV header"),
+            CsvError::BadRow { row } => write!(f, "malformed CSV data row {row}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Serializes a dataset to CSV.
+#[must_use]
+pub fn to_csv(ds: &FingerprintDataset) -> String {
+    let mut out = String::new();
+    for i in 0..ds.ap_count() {
+        let _ = write!(out, "ap{i:03},");
+    }
+    out.push_str("rp,x,y,time_h,ci\n");
+    for r in ds.records() {
+        for v in &r.rssi {
+            let _ = write!(out, "{v},");
+        }
+        let _ = writeln!(out, "{},{:.4},{:.4},{:.4},{}", r.rp.0, r.pos.x, r.pos.y, r.time.hours(), r.ci);
+    }
+    out
+}
+
+/// Parses a dataset from CSV produced by [`to_csv`].
+///
+/// Reference-point positions are reconstructed from the first record seen
+/// for each RP id.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] on a malformed header or row.
+pub fn from_csv(name: &str, text: &str) -> Result<FingerprintDataset, CsvError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(CsvError::BadHeader)?;
+    let cols: Vec<&str> = header.split(',').collect();
+    if cols.len() < 6 || cols[cols.len() - 5..] != ["rp", "x", "y", "time_h", "ci"] {
+        return Err(CsvError::BadHeader);
+    }
+    let ap_count = cols.len() - 5;
+
+    let mut rps: Vec<ReferencePoint> = Vec::new();
+    let mut records: Vec<Fingerprint> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row = i + 1;
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != ap_count + 5 {
+            return Err(CsvError::BadRow { row });
+        }
+        let parse_f = |s: &str| s.trim().parse::<f64>().map_err(|_| CsvError::BadRow { row });
+        let mut rssi = Vec::with_capacity(ap_count);
+        for f in &fields[..ap_count] {
+            rssi.push(parse_f(f)? as f32);
+        }
+        let rp = RpId(
+            fields[ap_count]
+                .trim()
+                .parse::<u32>()
+                .map_err(|_| CsvError::BadRow { row })?,
+        );
+        let pos = Point2::new(parse_f(fields[ap_count + 1])?, parse_f(fields[ap_count + 2])?);
+        let time = SimTime::from_hours(parse_f(fields[ap_count + 3])?);
+        let ci = fields[ap_count + 4]
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| CsvError::BadRow { row })?;
+        if !rps.iter().any(|r| r.id == rp) {
+            rps.push(ReferencePoint { id: rp, pos });
+        }
+        records.push(Fingerprint { rssi, rp, pos, time, ci });
+    }
+
+    let mut ds = FingerprintDataset::new(name, ap_count, rps);
+    for r in records {
+        ds.push(r);
+    }
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites::{office_suite, SuiteConfig};
+
+    #[test]
+    fn roundtrip_preserves_dataset() {
+        let suite = office_suite(&SuiteConfig::tiny(1));
+        let csv = to_csv(&suite.train);
+        let back = from_csv("roundtrip", &csv).unwrap();
+        assert_eq!(back.ap_count(), suite.train.ap_count());
+        assert_eq!(back.len(), suite.train.len());
+        for (a, b) in back.records().iter().zip(suite.train.records()) {
+            assert_eq!(a.rp, b.rp);
+            assert_eq!(a.ci, b.ci);
+            assert_eq!(a.rssi, b.rssi);
+            assert!((a.pos.x - b.pos.x).abs() < 1e-3);
+            assert!((a.time.hours() - b.time.hours()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert_eq!(from_csv("x", "a,b,c\n").unwrap_err(), CsvError::BadHeader);
+        assert_eq!(from_csv("x", "").unwrap_err(), CsvError::BadHeader);
+    }
+
+    #[test]
+    fn rejects_bad_row() {
+        let text = "ap000,rp,x,y,time_h,ci\n-40.0,0,0.0,0.0,1.0\n";
+        assert_eq!(from_csv("x", text).unwrap_err(), CsvError::BadRow { row: 1 });
+        let text2 = "ap000,rp,x,y,time_h,ci\n-40.0,zz,0.0,0.0,1.0,0\n";
+        assert_eq!(from_csv("x", text2).unwrap_err(), CsvError::BadRow { row: 1 });
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = "ap000,rp,x,y,time_h,ci\n-40.0,0,0.0,0.0,1.0,0\n\n";
+        let ds = from_csv("x", text).unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! The framework interface implemented by STONE and every baseline.
+
+use stone_radio::Point2;
+
+use crate::dataset::FingerprintDataset;
+use crate::types::Trajectory;
+
+/// A deployed (trained) indoor-localization model.
+///
+/// The online phase of the paper's Fig. 2: the model receives an RSSI vector
+/// captured by the user's device and predicts a floorplan position.
+pub trait Localizer {
+    /// Short human-readable framework name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Predicts the position for a single RSSI vector (dBm; -100 = missing
+    /// AP, matching [`crate::MISSING_RSSI_DBM`]).
+    fn locate(&self, rssi: &[f32]) -> Point2;
+
+    /// Offers newly collected *unlabeled* scans to the model.
+    ///
+    /// Frameworks that re-train post-deployment (LT-KNN re-fits its radio
+    /// map every collection instance, Sec. V.A.3) use this hook; frameworks
+    /// that are deployment-frozen — STONE's headline property — ignore it.
+    fn adapt(&mut self, _scans: &[Vec<f32>]) {}
+
+    /// Returns `true` when [`Localizer::adapt`] actually does something;
+    /// used by reports to annotate which frameworks require re-training.
+    fn requires_retraining(&self) -> bool {
+        false
+    }
+
+    /// Localizes an ordered walk. The default localizes each scan
+    /// independently; sequential frameworks (GIFT) override this to exploit
+    /// consecutive-scan structure.
+    fn locate_trajectory(&mut self, traj: &Trajectory) -> Vec<Point2> {
+        traj.fingerprints.iter().map(|f| self.locate(&f.rssi)).collect()
+    }
+}
+
+/// A trainable localization framework: the offline phase of Fig. 2.
+pub trait Framework {
+    /// Short human-readable framework name.
+    fn name(&self) -> &str;
+
+    /// Trains on the offline dataset and returns a deployable model.
+    ///
+    /// `seed` controls all stochastic aspects of training so experiments are
+    /// reproducible.
+    fn fit(&self, train: &FingerprintDataset, seed: u64) -> Box<dyn Localizer>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Fingerprint, RpId, Trajectory};
+    use stone_radio::SimTime;
+
+    struct Fixed;
+
+    impl Localizer for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn locate(&self, _rssi: &[f32]) -> Point2 {
+            Point2::new(1.0, 2.0)
+        }
+    }
+
+    #[test]
+    fn default_trajectory_maps_locate() {
+        let mut l = Fixed;
+        let traj = Trajectory::new(vec![
+            Fingerprint {
+                rssi: vec![-40.0],
+                rp: RpId(0),
+                pos: Point2::new(0.0, 0.0),
+                time: SimTime::start(),
+                ci: 0,
+            },
+            Fingerprint {
+                rssi: vec![-50.0],
+                rp: RpId(1),
+                pos: Point2::new(1.0, 0.0),
+                time: SimTime::start(),
+                ci: 0,
+            },
+        ]);
+        let out = l.locate_trajectory(&traj);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], Point2::new(1.0, 2.0));
+        assert!(!l.requires_retraining());
+    }
+}

@@ -1,0 +1,162 @@
+//! ASCII heatmap rendering (the paper's Fig. 7).
+
+use std::fmt::Write as _;
+
+/// A labelled 2-D grid of values rendered as a shaded ASCII heatmap with the
+/// numeric value in every cell, like the paper's FPR-sensitivity figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heatmap {
+    /// Title printed above the grid.
+    pub title: String,
+    /// Row labels (the paper's FPR axis).
+    pub row_labels: Vec<String>,
+    /// Column labels (the paper's timescale axis).
+    pub col_labels: Vec<String>,
+    /// Values in row-major order; `values[r][c]` belongs to row `r`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl Heatmap {
+    /// Creates a heatmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value grid does not match the label counts.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        row_labels: Vec<String>,
+        col_labels: Vec<String>,
+        values: Vec<Vec<f64>>,
+    ) -> Self {
+        assert_eq!(values.len(), row_labels.len(), "row count mismatch");
+        for row in &values {
+            assert_eq!(row.len(), col_labels.len(), "column count mismatch");
+        }
+        Self { title: title.into(), row_labels, col_labels, values }
+    }
+
+    /// Appends a trailing "mean" column computed per row (the paper's final
+    /// Fig. 7 column).
+    #[must_use]
+    pub fn with_row_means(mut self) -> Self {
+        self.col_labels.push("mean".into());
+        for row in &mut self.values {
+            let mean = row.iter().sum::<f64>() / row.len().max(1) as f64;
+            row.push(mean);
+        }
+        self
+    }
+
+    fn shade(v: f64, lo: f64, hi: f64) -> char {
+        if !v.is_finite() || hi <= lo {
+            return ' ';
+        }
+        let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        match (t * 4.0) as usize {
+            0 => ' ',
+            1 => '░',
+            2 => '▒',
+            3 => '▓',
+            _ => '█',
+        }
+    }
+
+    /// Renders the heatmap: each cell shows a shade character plus the
+    /// value, darker = larger error.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let lo = self
+            .values
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .values
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let row_w = self.row_labels.iter().map(String::len).max().unwrap_or(4).max(4);
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = write!(out, "{:<row_w$}", "");
+        for c in &self.col_labels {
+            let _ = write!(out, "{c:>8}");
+        }
+        out.push('\n');
+        for (r, row) in self.values.iter().enumerate() {
+            let _ = write!(out, "{:<row_w$}", self.row_labels[r]);
+            for &v in row {
+                let _ = write!(out, " {}{v:>6.2}", Self::shade(v, lo, hi));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes as CSV (`row,col,value`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("row,col,value\n");
+        for (r, row) in self.values.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                let _ = writeln!(out, "{},{},{:.4}", self.row_labels[r], self.col_labels[c], v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> Heatmap {
+        Heatmap::new(
+            "demo",
+            vec!["fpr=1".into(), "fpr=4".into()],
+            vec!["t0".into(), "t1".into()],
+            vec![vec![4.0, 6.0], vec![1.0, 2.0]],
+        )
+    }
+
+    #[test]
+    fn render_contains_labels_and_values() {
+        let s = map().render();
+        assert!(s.contains("fpr=1") && s.contains("t1"));
+        assert!(s.contains("4.00") && s.contains("2.00"));
+    }
+
+    #[test]
+    fn row_means_append_column() {
+        let h = map().with_row_means();
+        assert_eq!(h.col_labels.last().unwrap(), "mean");
+        assert_eq!(h.values[0][2], 5.0);
+        assert_eq!(h.values[1][2], 1.5);
+    }
+
+    #[test]
+    fn csv_has_all_cells() {
+        let csv = map().to_csv();
+        assert_eq!(csv.lines().count(), 1 + 4);
+    }
+
+    #[test]
+    fn shading_monotone() {
+        assert_eq!(Heatmap::shade(0.0, 0.0, 1.0), ' ');
+        assert_eq!(Heatmap::shade(1.0, 0.0, 1.0), '█');
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn rejects_ragged_grid() {
+        let _ = Heatmap::new(
+            "bad",
+            vec!["a".into()],
+            vec!["x".into(), "y".into()],
+            vec![vec![1.0]],
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Weight initialization schemes.
+
+use rand::rngs::StdRng;
+use stone_tensor::{rng as trng, Tensor};
+
+/// He (Kaiming) normal initialization: `N(0, 2 / fan_in)`.
+///
+/// Suited to ReLU-family activations; used for the conv layers of the STONE
+/// encoder.
+#[must_use]
+pub fn he_normal(shape: Vec<usize>, fan_in: usize, rng: &mut StdRng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    trng::normal_tensor(rng, shape, 0.0, std)
+}
+
+/// Xavier (Glorot) uniform initialization: `U[-a, a]` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// Suited to linear/embedding output layers.
+#[must_use]
+pub fn xavier_uniform(shape: Vec<usize>, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    trng::uniform_tensor(rng, shape, -a, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = he_normal(vec![10_000], 50, &mut rng);
+        let mean = t.as_slice().iter().sum::<f32>() / t.len() as f32;
+        let var = t.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 2.0 / 50.0).abs() < 0.005, "var {var}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = xavier_uniform(vec![1000], 30, 70, &mut rng);
+        let a = (6.0f32 / 100.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= a));
+    }
+}

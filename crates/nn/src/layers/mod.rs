@@ -1,0 +1,17 @@
+//! Concrete layer implementations.
+
+mod activations;
+mod conv;
+mod dense;
+mod dropout;
+mod noise;
+mod norm;
+mod shape_ops;
+
+pub use activations::{LeakyRelu, Relu, Sigmoid, Tanh};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use noise::GaussianNoise;
+pub use norm::{L2Normalize, Softmax};
+pub use shape_ops::Flatten;

@@ -1,0 +1,57 @@
+//! WiFi access points.
+
+use crate::geom::Point2;
+
+/// Stable identifier of a simulated access point within an environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ApId(pub u32);
+
+impl std::fmt::Display for ApId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AP{:03}", self.0)
+    }
+}
+
+/// A WiFi access point: position, transmit power and a per-AP salt that
+/// decorrelates its shadowing/drift noise fields from other APs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AccessPoint {
+    /// Stable identifier.
+    pub id: ApId,
+    /// Position on the floorplan, in meters.
+    pub pos: Point2,
+    /// Effective transmit power expressed as the expected RSSI at 1 m, in
+    /// dBm (typical hardware lands around -35 to -45 dBm).
+    pub tx_power_dbm: f64,
+    /// Noise-field salt; replacement hardware gets a fresh salt so its
+    /// channel statistics change even at the same mount point.
+    pub salt: u64,
+}
+
+impl AccessPoint {
+    /// Creates an access point with a salt derived from its id.
+    #[must_use]
+    pub fn new(id: ApId, pos: Point2, tx_power_dbm: f64) -> Self {
+        Self { id, pos, tx_power_dbm, salt: u64::from(id.0).wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_pads_id() {
+        assert_eq!(ApId(7).to_string(), "AP007");
+        assert_eq!(ApId(123).to_string(), "AP123");
+    }
+
+    #[test]
+    fn salts_differ_between_aps() {
+        let a = AccessPoint::new(ApId(1), Point2::new(0.0, 0.0), -40.0);
+        let b = AccessPoint::new(ApId(2), Point2::new(0.0, 0.0), -40.0);
+        assert_ne!(a.salt, b.salt);
+    }
+}

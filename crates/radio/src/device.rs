@@ -1,0 +1,85 @@
+//! Mobile-device measurement model.
+
+/// Measurement characteristics of the scanning device (the paper used an LG
+/// V20 smartphone): detection threshold, a constant chipset offset, and
+/// integer-dBm quantization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DeviceModel {
+    /// RSSI below this threshold is not reported at all (the AP is missing
+    /// from the scan), in dBm.
+    pub detection_threshold_dbm: f64,
+    /// Constant chipset gain offset added to every reading, in dB.
+    pub offset_db: f64,
+    /// Quantize readings to whole dBm (real WiFi chipsets report integers).
+    pub quantize: bool,
+}
+
+impl DeviceModel {
+    /// An LG-V20-like smartphone model.
+    #[must_use]
+    pub fn lg_v20() -> Self {
+        Self { detection_threshold_dbm: -94.0, offset_db: 0.0, quantize: true }
+    }
+
+    /// An ideal measurement device: no threshold, offset or quantization
+    /// (useful for unit-testing the propagation core).
+    #[must_use]
+    pub fn ideal() -> Self {
+        Self { detection_threshold_dbm: -1000.0, offset_db: 0.0, quantize: false }
+    }
+
+    /// Applies the device model to a true channel RSSI.
+    ///
+    /// Returns `None` when the signal falls below the detection threshold;
+    /// otherwise the reported value clamped into `[-100, 0]` dBm.
+    #[must_use]
+    pub fn observe(&self, true_rssi_dbm: f64) -> Option<f64> {
+        let mut v = true_rssi_dbm + self.offset_db;
+        if v < self.detection_threshold_dbm {
+            return None;
+        }
+        if self.quantize {
+            v = v.round();
+        }
+        Some(v.clamp(-100.0, 0.0))
+    }
+}
+
+impl Default for DeviceModel {
+    fn default() -> Self {
+        Self::lg_v20()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_is_missing() {
+        let d = DeviceModel::lg_v20();
+        assert_eq!(d.observe(-95.0), None);
+        assert!(d.observe(-93.0).is_some());
+    }
+
+    #[test]
+    fn quantizes_to_integer_dbm() {
+        let d = DeviceModel::lg_v20();
+        assert_eq!(d.observe(-60.4), Some(-60.0));
+        assert_eq!(d.observe(-60.6), Some(-61.0));
+    }
+
+    #[test]
+    fn offset_shifts_reading() {
+        let d = DeviceModel { offset_db: -3.0, ..DeviceModel::lg_v20() };
+        assert_eq!(d.observe(-60.0), Some(-63.0));
+    }
+
+    #[test]
+    fn clamps_to_valid_range() {
+        let d = DeviceModel::ideal();
+        assert_eq!(d.observe(5.0), Some(0.0));
+        assert_eq!(d.observe(-150.0), Some(-100.0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Floorplans: bounds plus attenuating walls.
+
+use crate::geom::{Point2, Rect, Segment};
+
+/// A wall segment with a per-crossing attenuation, in dB.
+///
+/// Drywall partitions cost a few dB; the concrete/metal walls of the
+/// paper's Basement path cost substantially more.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Wall {
+    /// Wall geometry.
+    pub segment: Segment,
+    /// Signal attenuation per crossing, in dB (non-negative).
+    pub attenuation_db: f64,
+}
+
+impl Wall {
+    /// Creates a wall.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `attenuation_db` is negative.
+    #[must_use]
+    pub fn new(segment: Segment, attenuation_db: f64) -> Self {
+        assert!(attenuation_db >= 0.0, "wall attenuation must be non-negative");
+        Self { segment, attenuation_db }
+    }
+}
+
+/// A single-floor floorplan: named bounds and a set of attenuating walls.
+///
+/// # Example
+///
+/// ```
+/// use stone_radio::{Floorplan, Point2, Rect, Segment, Wall};
+///
+/// let plan = Floorplan::new(
+///     "demo",
+///     Rect::new(Point2::new(0.0, 0.0), Point2::new(10.0, 10.0)),
+///     vec![Wall::new(
+///         Segment::new(Point2::new(5.0, 0.0), Point2::new(5.0, 10.0)),
+///         6.0,
+///     )],
+/// );
+/// let loss = plan.wall_loss_db(Point2::new(1.0, 5.0), Point2::new(9.0, 5.0));
+/// assert_eq!(loss, 6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Floorplan {
+    name: String,
+    bounds: Rect,
+    walls: Vec<Wall>,
+}
+
+impl Floorplan {
+    /// Creates a floorplan.
+    #[must_use]
+    pub fn new(name: impl Into<String>, bounds: Rect, walls: Vec<Wall>) -> Self {
+        Self { name: name.into(), bounds, walls }
+    }
+
+    /// Human-readable floorplan name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Floorplan bounds.
+    #[must_use]
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// The walls.
+    #[must_use]
+    pub fn walls(&self) -> &[Wall] {
+        &self.walls
+    }
+
+    /// Total wall attenuation along the line-of-sight from `tx` to `rx`, in
+    /// dB (the multi-wall propagation term).
+    #[must_use]
+    pub fn wall_loss_db(&self, tx: Point2, rx: Point2) -> f64 {
+        let los = Segment::new(tx, rx);
+        self.walls
+            .iter()
+            .filter(|w| w.segment.intersects(&los))
+            .map(|w| w.attenuation_db)
+            .sum()
+    }
+
+    /// Number of walls crossed by the line-of-sight from `tx` to `rx`.
+    #[must_use]
+    pub fn walls_crossed(&self, tx: Point2, rx: Point2) -> usize {
+        let los = Segment::new(tx, rx);
+        self.walls.iter().filter(|w| w.segment.intersects(&los)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_with_two_walls() -> Floorplan {
+        Floorplan::new(
+            "t",
+            Rect::new(Point2::new(0.0, 0.0), Point2::new(20.0, 10.0)),
+            vec![
+                Wall::new(Segment::new(Point2::new(5.0, 0.0), Point2::new(5.0, 10.0)), 3.0),
+                Wall::new(Segment::new(Point2::new(10.0, 0.0), Point2::new(10.0, 10.0)), 7.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn no_walls_no_loss() {
+        let plan = plan_with_two_walls();
+        assert_eq!(plan.wall_loss_db(Point2::new(1.0, 1.0), Point2::new(4.0, 9.0)), 0.0);
+    }
+
+    #[test]
+    fn crossing_both_walls_sums_losses() {
+        let plan = plan_with_two_walls();
+        let loss = plan.wall_loss_db(Point2::new(1.0, 5.0), Point2::new(19.0, 5.0));
+        assert_eq!(loss, 10.0);
+        assert_eq!(plan.walls_crossed(Point2::new(1.0, 5.0), Point2::new(19.0, 5.0)), 2);
+    }
+
+    #[test]
+    fn crossing_one_wall() {
+        let plan = plan_with_two_walls();
+        let loss = plan.wall_loss_db(Point2::new(1.0, 5.0), Point2::new(7.0, 5.0));
+        assert_eq!(loss, 3.0);
+    }
+
+    #[test]
+    fn parallel_path_misses_walls() {
+        let plan = plan_with_two_walls();
+        // Path along y = const but between x = 5 and x = 10 walls.
+        let loss = plan.wall_loss_db(Point2::new(6.0, 1.0), Point2::new(9.0, 9.0));
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_attenuation_rejected() {
+        let _ = Wall::new(Segment::new(Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)), -1.0);
+    }
+}

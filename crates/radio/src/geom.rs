@@ -1,0 +1,204 @@
+//! Minimal 2-D geometry: points, segments, rectangles.
+
+/// A point (or vector) in the floorplan plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Point2 {
+    /// X coordinate in meters.
+    pub x: f64,
+    /// Y coordinate in meters.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point from coordinates in meters.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    #[must_use]
+    pub fn distance(&self, other: Point2) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[must_use]
+    pub fn sq_distance(&self, other: Point2) -> f64 {
+        (self.x - other.x).powi(2) + (self.y - other.y).powi(2)
+    }
+
+    /// Linear interpolation from `self` toward `other` (`t = 0` → self,
+    /// `t = 1` → other).
+    #[must_use]
+    pub fn lerp(&self, other: Point2, t: f64) -> Point2 {
+        Point2::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+    }
+}
+
+impl std::fmt::Display for Point2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+/// A line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point2,
+    /// Second endpoint.
+    pub b: Point2,
+}
+
+impl Segment {
+    /// Creates a segment from two endpoints.
+    #[must_use]
+    pub fn new(a: Point2, b: Point2) -> Self {
+        Self { a, b }
+    }
+
+    /// Segment length in meters.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Returns `true` when `self` and `other` intersect (including touching
+    /// at endpoints or collinear overlap).
+    #[must_use]
+    pub fn intersects(&self, other: &Segment) -> bool {
+        fn orient(p: Point2, q: Point2, r: Point2) -> f64 {
+            (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x)
+        }
+        fn on_segment(p: Point2, q: Point2, r: Point2) -> bool {
+            r.x <= p.x.max(q.x) + 1e-12
+                && r.x >= p.x.min(q.x) - 1e-12
+                && r.y <= p.y.max(q.y) + 1e-12
+                && r.y >= p.y.min(q.y) - 1e-12
+        }
+        let (p1, q1, p2, q2) = (self.a, self.b, other.a, other.b);
+        let d1 = orient(p1, q1, p2);
+        let d2 = orient(p1, q1, q2);
+        let d3 = orient(p2, q2, p1);
+        let d4 = orient(p2, q2, q1);
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            return true;
+        }
+        (d1.abs() < 1e-12 && on_segment(p1, q1, p2))
+            || (d2.abs() < 1e-12 && on_segment(p1, q1, q2))
+            || (d3.abs() < 1e-12 && on_segment(p2, q2, p1))
+            || (d4.abs() < 1e-12 && on_segment(p2, q2, q1))
+    }
+}
+
+/// An axis-aligned rectangle, used for floorplan bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Rect {
+    /// Minimum corner.
+    pub min: Point2,
+    /// Maximum corner.
+    pub max: Point2,
+}
+
+impl Rect {
+    /// Creates a rectangle from its min/max corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min` is not component-wise ≤ `max`.
+    #[must_use]
+    pub fn new(min: Point2, max: Point2) -> Self {
+        assert!(min.x <= max.x && min.y <= max.y, "rect min must be <= max");
+        Self { min, max }
+    }
+
+    /// Rectangle width (x extent) in meters.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Rectangle height (y extent) in meters.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Returns `true` when `p` lies inside or on the boundary.
+    #[must_use]
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_345() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.sq_distance(b), 25.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s1 = Segment::new(Point2::new(0.0, 0.0), Point2::new(2.0, 2.0));
+        let s2 = Segment::new(Point2::new(0.0, 2.0), Point2::new(2.0, 0.0));
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let s1 = Segment::new(Point2::new(0.0, 0.0), Point2::new(2.0, 0.0));
+        let s2 = Segment::new(Point2::new(0.0, 1.0), Point2::new(2.0, 1.0));
+        assert!(!s1.intersects(&s2));
+    }
+
+    #[test]
+    fn touching_at_endpoint_counts() {
+        let s1 = Segment::new(Point2::new(0.0, 0.0), Point2::new(1.0, 0.0));
+        let s2 = Segment::new(Point2::new(1.0, 0.0), Point2::new(1.0, 1.0));
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn disjoint_collinear_segments_do_not_intersect() {
+        let s1 = Segment::new(Point2::new(0.0, 0.0), Point2::new(1.0, 0.0));
+        let s2 = Segment::new(Point2::new(2.0, 0.0), Point2::new(3.0, 0.0));
+        assert!(!s1.intersects(&s2));
+    }
+
+    #[test]
+    fn rect_contains() {
+        let r = Rect::new(Point2::new(0.0, 0.0), Point2::new(10.0, 5.0));
+        assert!(r.contains(Point2::new(5.0, 2.5)));
+        assert!(r.contains(Point2::new(0.0, 0.0)));
+        assert!(!r.contains(Point2::new(11.0, 2.0)));
+        assert_eq!(r.width(), 10.0);
+        assert_eq!(r.height(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rect min")]
+    fn rect_rejects_inverted() {
+        let _ = Rect::new(Point2::new(1.0, 0.0), Point2::new(0.0, 1.0));
+    }
+}

@@ -1,0 +1,65 @@
+//! # stone-radio
+//!
+//! An indoor WiFi radio-propagation simulator that stands in for the
+//! physical buildings and the public UJI dataset used by the STONE paper
+//! (DATE 2022), which are not available to this reproduction (see the
+//! substitution table in `DESIGN.md`).
+//!
+//! The simulator models exactly the mechanisms the paper's evaluation
+//! depends on:
+//!
+//! * **log-distance path loss with multi-wall attenuation** —
+//!   [`PropagationModel`] plus [`Floorplan`] wall crossings;
+//! * **spatially-correlated shadow fading** — a deterministic value-noise
+//!   field per access point ([`shadowing`]);
+//! * **temporal variation** — per-AP slow drift across months, a diurnal
+//!   human-activity curve, and fast per-measurement fading
+//!   ([`TemporalModel`]);
+//! * **AP ephemerality** — removal/replacement schedules ([`ApSchedule`]),
+//!   the paper's Fig. 4 phenomenon;
+//! * **device effects** — detection threshold, RSSI offset, and dBm
+//!   quantization ([`DeviceModel`]), mimicking the LG V20 used by the
+//!   authors.
+//!
+//! All stochastic spatial/temporal structure is a pure function of the
+//! environment seed, so two scans at the same position and time (with
+//! identical sampling RNG state) observe identical channels.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use stone_radio::{presets, Point2, SimTime};
+//!
+//! let env = presets::office_environment(42);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let scan = env.scan(Point2::new(5.0, 1.0), SimTime::from_hours(8.0), &mut rng);
+//! assert_eq!(scan.len(), env.ap_count());
+//! assert!(scan.iter().flatten().all(|&rssi| (-100.0..=0.0).contains(&rssi)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ap;
+mod device;
+mod environment;
+mod floorplan;
+mod geom;
+mod lifecycle;
+pub mod presets;
+mod render;
+pub mod shadowing;
+mod temporal;
+mod time;
+
+pub use ap::{AccessPoint, ApId};
+pub use device::DeviceModel;
+pub use environment::{PropagationModel, RadioEnvironment};
+pub use floorplan::{Floorplan, Wall};
+pub use geom::{Point2, Rect, Segment};
+pub use lifecycle::{ApEvent, ApSchedule};
+pub use render::render_floorplan_ascii;
+pub use temporal::TemporalModel;
+pub use time::SimTime;

@@ -1,0 +1,287 @@
+//! Access-point lifecycle: removal and replacement over time.
+//!
+//! The paper highlights AP ephemerality as the dominant cause of
+//! catastrophic long-term accuracy loss: ~20% of APs vanish after CI 11 on
+//! the Office/Basement paths and ~50% around month 11 in the UJI dataset
+//! (Sec. V.A, Fig. 4). [`ApSchedule`] reproduces both patterns.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::ap::ApId;
+use crate::time::SimTime;
+
+/// A lifecycle event for one access point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum ApEvent {
+    /// The AP disappears permanently at the given time.
+    Removed {
+        /// Affected AP.
+        ap: ApId,
+        /// Removal time.
+        at: SimTime,
+    },
+    /// The AP is swapped for new hardware at the same mount point: its
+    /// channel statistics change (new noise salt, transmit-power delta).
+    Replaced {
+        /// Affected AP.
+        ap: ApId,
+        /// Replacement time.
+        at: SimTime,
+        /// New salt for the replacement unit's noise fields.
+        new_salt: u64,
+        /// Transmit-power change of the replacement unit, in dB.
+        tx_delta_db: f64,
+    },
+}
+
+impl ApEvent {
+    /// The AP this event affects.
+    #[must_use]
+    pub fn ap(&self) -> ApId {
+        match self {
+            ApEvent::Removed { ap, .. } | ApEvent::Replaced { ap, .. } => *ap,
+        }
+    }
+
+    /// The time at which the event takes effect.
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        match self {
+            ApEvent::Removed { at, .. } | ApEvent::Replaced { at, .. } => *at,
+        }
+    }
+}
+
+/// A schedule of AP lifecycle events.
+///
+/// # Example
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use stone_radio::{ApId, ApSchedule, SimTime};
+///
+/// let aps: Vec<ApId> = (0..10).map(ApId).collect();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let sched = ApSchedule::mass_removal(&aps, 0.5, SimTime::from_months(11.0), &mut rng);
+/// let survivors = aps
+///     .iter()
+///     .filter(|&&ap| sched.is_active(ap, SimTime::from_months(12.0)))
+///     .count();
+/// assert_eq!(survivors, 5);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ApSchedule {
+    events: Vec<ApEvent>,
+}
+
+impl ApSchedule {
+    /// An empty schedule: every AP stays up forever.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Creates a schedule from explicit events.
+    #[must_use]
+    pub fn from_events(events: Vec<ApEvent>) -> Self {
+        Self { events }
+    }
+
+    /// Removes a uniformly random `fraction` of `aps` at time `at`
+    /// (rounded to the nearest AP count).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn mass_removal<R: Rng>(aps: &[ApId], fraction: f64, at: SimTime, rng: &mut R) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        let k = (aps.len() as f64 * fraction).round() as usize;
+        let mut pool: Vec<ApId> = aps.to_vec();
+        pool.shuffle(rng);
+        let events = pool
+            .into_iter()
+            .take(k)
+            .map(|ap| ApEvent::Removed { ap, at })
+            .collect();
+        Self { events }
+    }
+
+    /// Adds scattered replacement events: each AP independently gets
+    /// replaced with probability `per_ap_probability` at a uniformly random
+    /// time in `[earliest, latest]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the probability is outside `[0, 1]` or
+    /// `earliest > latest`.
+    pub fn add_scattered_replacements<R: Rng>(
+        &mut self,
+        aps: &[ApId],
+        per_ap_probability: f64,
+        earliest: SimTime,
+        latest: SimTime,
+        rng: &mut R,
+    ) {
+        assert!((0.0..=1.0).contains(&per_ap_probability), "probability must be in [0, 1]");
+        assert!(earliest.hours() <= latest.hours(), "earliest must be <= latest");
+        for &ap in aps {
+            if rng.gen::<f64>() < per_ap_probability {
+                let at = SimTime::from_hours(rng.gen_range(earliest.hours()..=latest.hours()));
+                self.events.push(ApEvent::Replaced {
+                    ap,
+                    at,
+                    new_salt: rng.gen(),
+                    tx_delta_db: rng.gen_range(-4.0..4.0),
+                });
+            }
+        }
+    }
+
+    /// All events, in insertion order.
+    #[must_use]
+    pub fn events(&self) -> &[ApEvent] {
+        &self.events
+    }
+
+    /// Returns `true` when the AP is transmitting at time `t` (i.e. not yet
+    /// removed).
+    #[must_use]
+    pub fn is_active(&self, ap: ApId, t: SimTime) -> bool {
+        !self.events.iter().any(|e| {
+            matches!(e, ApEvent::Removed { ap: a, at } if *a == ap && at.hours() <= t.hours())
+        })
+    }
+
+    /// Effective (salt, tx-power delta) of the AP at time `t`, accounting
+    /// for any replacement that has already happened.
+    #[must_use]
+    pub fn effective_unit(&self, ap: ApId, base_salt: u64, t: SimTime) -> (u64, f64) {
+        let mut salt = base_salt;
+        let mut delta = 0.0;
+        let mut best: Option<SimTime> = None;
+        for e in &self.events {
+            if let ApEvent::Replaced { ap: a, at, new_salt, tx_delta_db } = e {
+                if *a == ap
+                    && at.hours() <= t.hours()
+                    && best.is_none_or(|b| at.hours() > b.hours())
+                {
+                    best = Some(*at);
+                    salt = *new_salt;
+                    delta = *tx_delta_db;
+                }
+            }
+        }
+        (salt, delta)
+    }
+
+    /// Fraction of `aps` active at time `t`.
+    #[must_use]
+    pub fn active_fraction(&self, aps: &[ApId], t: SimTime) -> f64 {
+        if aps.is_empty() {
+            return 1.0;
+        }
+        let active = aps.iter().filter(|&&ap| self.is_active(ap, t)).count();
+        active as f64 / aps.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn aps(n: u32) -> Vec<ApId> {
+        (0..n).map(ApId).collect()
+    }
+
+    #[test]
+    fn empty_schedule_keeps_everything() {
+        let s = ApSchedule::none();
+        assert!(s.is_active(ApId(3), SimTime::from_months(100.0)));
+        assert_eq!(s.active_fraction(&aps(5), SimTime::from_months(100.0)), 1.0);
+    }
+
+    #[test]
+    fn removal_takes_effect_at_time() {
+        let s = ApSchedule::from_events(vec![ApEvent::Removed {
+            ap: ApId(1),
+            at: SimTime::from_months(4.0),
+        }]);
+        assert!(s.is_active(ApId(1), SimTime::from_months(3.9)));
+        assert!(!s.is_active(ApId(1), SimTime::from_months(4.0)));
+        assert!(s.is_active(ApId(2), SimTime::from_months(5.0)));
+    }
+
+    #[test]
+    fn mass_removal_removes_requested_fraction() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let all = aps(40);
+        let s = ApSchedule::mass_removal(&all, 0.2, SimTime::from_months(4.0), &mut rng);
+        let before = s.active_fraction(&all, SimTime::from_months(3.0));
+        let after = s.active_fraction(&all, SimTime::from_months(4.5));
+        assert_eq!(before, 1.0);
+        assert!((after - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replacement_changes_salt_after_event() {
+        let s = ApSchedule::from_events(vec![ApEvent::Replaced {
+            ap: ApId(0),
+            at: SimTime::from_months(2.0),
+            new_salt: 999,
+            tx_delta_db: -2.0,
+        }]);
+        let (salt_before, d_before) = s.effective_unit(ApId(0), 5, SimTime::from_months(1.0));
+        let (salt_after, d_after) = s.effective_unit(ApId(0), 5, SimTime::from_months(3.0));
+        assert_eq!((salt_before, d_before), (5, 0.0));
+        assert_eq!((salt_after, d_after), (999, -2.0));
+        // Replacement does not deactivate the AP.
+        assert!(s.is_active(ApId(0), SimTime::from_months(3.0)));
+    }
+
+    #[test]
+    fn latest_replacement_wins() {
+        let s = ApSchedule::from_events(vec![
+            ApEvent::Replaced {
+                ap: ApId(0),
+                at: SimTime::from_months(1.0),
+                new_salt: 111,
+                tx_delta_db: 1.0,
+            },
+            ApEvent::Replaced {
+                ap: ApId(0),
+                at: SimTime::from_months(2.0),
+                new_salt: 222,
+                tx_delta_db: 2.0,
+            },
+        ]);
+        let (salt, delta) = s.effective_unit(ApId(0), 5, SimTime::from_months(3.0));
+        assert_eq!((salt, delta), (222, 2.0));
+    }
+
+    #[test]
+    fn scattered_replacements_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let all = aps(500);
+        let mut s = ApSchedule::none();
+        s.add_scattered_replacements(
+            &all,
+            0.3,
+            SimTime::from_months(1.0),
+            SimTime::from_months(6.0),
+            &mut rng,
+        );
+        let frac = s.events().len() as f64 / all.len() as f64;
+        assert!((frac - 0.3).abs() < 0.06, "got {frac}");
+        for e in s.events() {
+            let at = e.at();
+            assert!(at.months() >= 1.0 && at.months() <= 6.0);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Ready-made environments mirroring the paper's three evaluation venues
+//! (Sec. V.A, Fig. 3).
+//!
+//! | Preset | Paper venue | Character |
+//! |---|---|---|
+//! | [`uji_hall_environment`] | UJI library floor 3 | wide-open hall, RP grid |
+//! | [`office_environment`] | Office path (48 m) | new faculty offices, drywall |
+//! | [`basement_environment`] | Basement path (61 m) | labs with heavy metallic equipment |
+//!
+//! The presets deliberately differ in wall materials, path-loss exponent and
+//! noise magnitudes so the relative difficulty ordering of the paper's paths
+//! (Basement noisier than Office; UJI open-space) is preserved. Lifecycle
+//! schedules (AP removal) are *not* baked in here — the suite builders in
+//! `stone-dataset` attach them because removal times are part of each
+//! experiment's timeline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ap::{AccessPoint, ApId};
+use crate::device::DeviceModel;
+use crate::environment::{PropagationModel, RadioEnvironment};
+use crate::floorplan::{Floorplan, Wall};
+use crate::geom::{Point2, Rect, Segment};
+use crate::lifecycle::ApSchedule;
+use crate::temporal::TemporalModel;
+
+/// Places `count` APs on a jittered grid over `bounds`, with transmit powers
+/// spread around -40 dBm (expected RSSI at 1 m).
+fn place_aps(bounds: Rect, count: usize, rng: &mut StdRng) -> Vec<AccessPoint> {
+    assert!(count > 0, "need at least one AP");
+    let cols = (count as f64).sqrt().ceil() as usize;
+    let rows = count.div_ceil(cols);
+    let dx = bounds.width() / cols as f64;
+    let dy = bounds.height() / rows as f64;
+    let mut aps = Vec::with_capacity(count);
+    'outer: for r in 0..rows {
+        for c in 0..cols {
+            if aps.len() >= count {
+                break 'outer;
+            }
+            let jx = rng.gen_range(-0.35..0.35) * dx;
+            let jy = rng.gen_range(-0.35..0.35) * dy;
+            let pos = Point2::new(
+                bounds.min.x + (c as f64 + 0.5) * dx + jx,
+                bounds.min.y + (r as f64 + 0.5) * dy + jy,
+            );
+            let tx = rng.gen_range(-44.0..-36.0);
+            aps.push(AccessPoint::new(ApId(aps.len() as u32), pos, tx));
+        }
+    }
+    aps
+}
+
+/// Evenly spaced interior partition walls perpendicular to a corridor.
+fn corridor_partitions(
+    length_m: f64,
+    corridor_y: (f64, f64),
+    depth_m: f64,
+    spacing_m: f64,
+    attenuation_db: f64,
+) -> Vec<Wall> {
+    let mut walls = Vec::new();
+    // Corridor side walls.
+    walls.push(Wall::new(
+        Segment::new(Point2::new(0.0, corridor_y.0), Point2::new(length_m, corridor_y.0)),
+        attenuation_db,
+    ));
+    walls.push(Wall::new(
+        Segment::new(Point2::new(0.0, corridor_y.1), Point2::new(length_m, corridor_y.1)),
+        attenuation_db,
+    ));
+    // Room partitions above and below the corridor.
+    let mut x = spacing_m;
+    while x < length_m {
+        walls.push(Wall::new(
+            Segment::new(Point2::new(x, corridor_y.1), Point2::new(x, corridor_y.1 + depth_m)),
+            attenuation_db,
+        ));
+        walls.push(Wall::new(
+            Segment::new(Point2::new(x, corridor_y.0 - depth_m), Point2::new(x, corridor_y.0)),
+            attenuation_db,
+        ));
+        x += spacing_m;
+    }
+    walls
+}
+
+/// The UJI-like library hall: a 36 × 30 m open space with a few bookshelf
+/// rows, ~96 APs (the real dataset sees hundreds of APs; we keep the image
+/// side at 10 for single-core training speed — see `DESIGN.md`).
+#[must_use]
+pub fn uji_hall_environment(seed: u64) -> RadioEnvironment {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0011);
+    let bounds = Rect::new(Point2::new(0.0, 0.0), Point2::new(36.0, 30.0));
+    // Light bookshelf rows: low attenuation, mostly open space.
+    let mut walls = Vec::new();
+    for k in 0..3 {
+        let y = 7.0 + k as f64 * 8.0;
+        walls.push(Wall::new(
+            Segment::new(Point2::new(6.0, y), Point2::new(30.0, y)),
+            1.5,
+        ));
+    }
+    let plan = Floorplan::new("uji-hall", bounds, walls);
+    let aps = place_aps(bounds, 96, &mut rng);
+    RadioEnvironment::new(
+        plan,
+        aps,
+        PropagationModel::open_indoor(),
+        TemporalModel {
+            drift_db: 5.5,
+            drift_period_days: 60.0,
+            diurnal_db: 2.0,
+            fast_fading_db: 1.6,
+            churn_slow_db: 4.5,
+            churn_fast_db: 1.5,
+            churn_cell_m: 4.0,
+            warp_slow_m: 2.5,
+            warp_fast_m: 0.4,
+        },
+        ApSchedule::none(),
+        DeviceModel::lg_v20(),
+        seed,
+    )
+}
+
+/// The Office-like path: a 48 m corridor flanked by newly-built faculty
+/// offices (drywall partitions), ~72 APs.
+#[must_use]
+pub fn office_environment(seed: u64) -> RadioEnvironment {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0FF1);
+    let bounds = Rect::new(Point2::new(0.0, -6.0), Point2::new(48.0, 8.0));
+    let walls = corridor_partitions(48.0, (0.0, 2.0), 5.0, 4.0, 3.5);
+    let plan = Floorplan::new("office", bounds, walls);
+    let aps = place_aps(bounds, 72, &mut rng);
+    RadioEnvironment::new(
+        plan,
+        aps,
+        PropagationModel { path_loss_exponent: 2.6, shadow_db: 3.0, shadow_cell_m: 4.0 },
+        TemporalModel {
+            drift_db: 4.5,
+            drift_period_days: 40.0,
+            diurnal_db: 3.0,
+            fast_fading_db: 1.8,
+            churn_slow_db: 4.0,
+            churn_fast_db: 2.0,
+            churn_cell_m: 3.0,
+            warp_slow_m: 2.0,
+            warp_fast_m: 0.6,
+        },
+        ApSchedule::none(),
+        DeviceModel::lg_v20(),
+        seed,
+    )
+}
+
+/// The Basement-like path: a 61 m corridor surrounded by labs with heavy
+/// metallic equipment — thicker walls, higher path-loss exponent, stronger
+/// shadowing and fast fading, ~72 APs.
+#[must_use]
+pub fn basement_environment(seed: u64) -> RadioEnvironment {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA5E);
+    let bounds = Rect::new(Point2::new(0.0, -7.0), Point2::new(61.0, 9.0));
+    let walls = corridor_partitions(61.0, (0.0, 2.2), 6.0, 6.0, 8.0);
+    let plan = Floorplan::new("basement", bounds, walls);
+    let aps = place_aps(bounds, 72, &mut rng);
+    RadioEnvironment::new(
+        plan,
+        aps,
+        PropagationModel::cluttered(),
+        TemporalModel {
+            drift_db: 6.0,
+            drift_period_days: 35.0,
+            diurnal_db: 3.5,
+            fast_fading_db: 2.4,
+            churn_slow_db: 5.0,
+            churn_fast_db: 2.5,
+            churn_cell_m: 2.5,
+            warp_slow_m: 2.5,
+            warp_fast_m: 0.8,
+        },
+        ApSchedule::none(),
+        DeviceModel::lg_v20(),
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn presets_have_expected_ap_counts() {
+        assert_eq!(uji_hall_environment(1).ap_count(), 96);
+        assert_eq!(office_environment(1).ap_count(), 72);
+        assert_eq!(basement_environment(1).ap_count(), 72);
+    }
+
+    #[test]
+    fn aps_lie_within_bounds() {
+        for env in [uji_hall_environment(2), office_environment(2), basement_environment(2)] {
+            let b = env.floorplan().bounds();
+            // Jitter is bounded by the cell size, so allow a half-cell slack.
+            for ap in env.aps() {
+                assert!(
+                    ap.pos.x > b.min.x - 3.0
+                        && ap.pos.x < b.max.x + 3.0
+                        && ap.pos.y > b.min.y - 3.0
+                        && ap.pos.y < b.max.y + 3.0,
+                    "AP {} out of bounds at {}",
+                    ap.id,
+                    ap.pos
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scans_see_a_reasonable_ap_subset() {
+        let env = office_environment(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let scan = env.scan(Point2::new(24.0, 1.0), SimTime::from_hours(8.0), &mut rng);
+        let visible = scan.iter().flatten().count();
+        assert!(
+            visible >= 10 && visible < env.ap_count(),
+            "visible {visible} of {}",
+            env.ap_count()
+        );
+    }
+
+    #[test]
+    fn basement_is_noisier_than_office() {
+        // Variance of repeated scans of the same AP should be larger in the
+        // basement (higher fast fading).
+        let sample_var = |env: &RadioEnvironment, pos: Point2| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let idx = (0..env.ap_count())
+                .find(|&i| {
+                    env.channel_rssi_dbm(i, pos, SimTime::start(), &mut rng).is_some()
+                })
+                .unwrap();
+            let xs: Vec<f64> = (0..200)
+                .filter_map(|_| env.channel_rssi_dbm(idx, pos, SimTime::start(), &mut rng))
+                .collect();
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / xs.len() as f64
+        };
+        let office = sample_var(&office_environment(5), Point2::new(10.0, 1.0));
+        let basement = sample_var(&basement_environment(5), Point2::new(10.0, 1.0));
+        assert!(basement > office, "basement {basement} vs office {office}");
+    }
+
+    #[test]
+    fn different_seeds_shuffle_ap_layout() {
+        let a = office_environment(1);
+        let b = office_environment(2);
+        assert_ne!(a.aps()[0].pos, b.aps()[0].pos);
+    }
+}

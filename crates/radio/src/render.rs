@@ -1,0 +1,122 @@
+//! ASCII floorplan rendering (the visual half of the paper's Fig. 3).
+
+use crate::ap::AccessPoint;
+use crate::floorplan::Floorplan;
+use crate::geom::Point2;
+
+/// Renders a floorplan with its APs and reference points as ASCII art:
+/// `#` walls, `A` access points, `.` reference points.
+///
+/// `cols` is the raster width in characters; the aspect ratio is preserved
+/// using a 2:1 character cell.
+///
+/// # Panics
+///
+/// Panics when `cols < 8`.
+///
+/// # Example
+///
+/// ```
+/// use stone_radio::{presets, render_floorplan_ascii};
+///
+/// let env = presets::office_environment(1);
+/// let art = render_floorplan_ascii(env.floorplan(), env.aps(), &[], 60);
+/// assert!(art.contains('A'));
+/// ```
+#[must_use]
+pub fn render_floorplan_ascii(
+    plan: &Floorplan,
+    aps: &[AccessPoint],
+    rps: &[Point2],
+    cols: usize,
+) -> String {
+    assert!(cols >= 8, "raster must be at least 8 columns");
+    let b = plan.bounds();
+    let sx = (cols - 1) as f64 / b.width().max(1e-9);
+    // Terminal characters are ~2x taller than wide.
+    let rows = ((b.height() * sx / 2.0).ceil() as usize).max(3);
+    let sy = (rows - 1) as f64 / b.height().max(1e-9);
+
+    let mut grid = vec![vec![' '; cols]; rows];
+    let mut put = |p: Point2, ch: char, grid: &mut Vec<Vec<char>>| {
+        let c = ((p.x - b.min.x) * sx).round() as isize;
+        let r = ((p.y - b.min.y) * sy).round() as isize;
+        if r >= 0 && (r as usize) < rows && c >= 0 && (c as usize) < cols {
+            let cell = &mut grid[r as usize][c as usize];
+            // Priority: APs > RPs > walls.
+            let rank = |ch: char| match ch {
+                'A' => 3,
+                '.' => 2,
+                '#' => 1,
+                _ => 0,
+            };
+            if rank(ch) >= rank(*cell) {
+                *cell = ch;
+            }
+        }
+    };
+
+    // Walls: sample each segment densely.
+    for wall in plan.walls() {
+        let len = wall.segment.length();
+        let steps = ((len * sx) as usize).max(1);
+        for k in 0..=steps {
+            let t = k as f64 / steps as f64;
+            put(wall.segment.a.lerp(wall.segment.b, t), '#', &mut grid);
+        }
+    }
+    for &rp in rps {
+        put(rp, '.', &mut grid);
+    }
+    for ap in aps {
+        put(ap.pos, 'A', &mut grid);
+    }
+
+    let mut out = String::with_capacity((cols + 3) * (rows + 2));
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', cols));
+    out.push_str("+\n");
+    // Render with y increasing upward, like the floorplan coordinates.
+    for row in grid.iter().rev() {
+        out.push('|');
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', cols));
+    out.push_str("+\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn renders_all_feature_kinds() {
+        let env = presets::basement_environment(1);
+        let rps = vec![Point2::new(10.0, 1.0), Point2::new(20.0, 1.0)];
+        let art = render_floorplan_ascii(env.floorplan(), env.aps(), &rps, 80);
+        assert!(art.contains('A'), "missing APs");
+        assert!(art.contains('#'), "missing walls");
+        assert!(art.contains('.'), "missing RPs");
+        assert!(art.starts_with('+'));
+    }
+
+    #[test]
+    fn raster_width_is_respected() {
+        let env = presets::office_environment(2);
+        let art = render_floorplan_ascii(env.floorplan(), env.aps(), &[], 40);
+        for line in art.lines() {
+            assert_eq!(line.chars().count(), 42, "line: {line}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8")]
+    fn rejects_tiny_raster() {
+        let env = presets::office_environment(3);
+        let _ = render_floorplan_ascii(env.floorplan(), env.aps(), &[], 4);
+    }
+}

@@ -1,0 +1,202 @@
+//! Deterministic value-noise fields.
+//!
+//! Shadow fading in indoor radio channels is *spatially correlated*: nearby
+//! positions see similar obstructions. We model it as bilinear value noise —
+//! a lattice of hash-derived uniform values, interpolated between lattice
+//! points — which gives smooth, reproducible fields that are pure functions
+//! of `(seed, salt, position)`. The same machinery (in one dimension)
+//! produces the slow per-AP temporal drift.
+
+/// SplitMix64 — a tiny, high-quality 64-bit mixer used to derive lattice
+/// noise deterministically.
+#[must_use]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform value in `[-1, 1]` derived from a seed and lattice coordinates.
+#[must_use]
+pub fn lattice_value(seed: u64, salt: u64, ix: i64, iy: i64) -> f64 {
+    let h = splitmix64(seed ^ salt.rotate_left(17) ^ (ix as u64).wrapping_mul(0x8530_9B5B_4F2B_2511) ^ (iy as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    // Map the top 53 bits to [0, 1), then to [-1, 1].
+    (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+fn smoothstep(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Smooth 2-D value noise in `[-1, 1]` with correlation length `cell`
+/// (meters): positions within a cell are strongly correlated, positions many
+/// cells apart are independent.
+///
+/// # Panics
+///
+/// Panics when `cell` is not strictly positive.
+///
+/// # Example
+///
+/// ```
+/// let a = stone_radio::shadowing::value_noise_2d(7, 1, 3.0, 4.0, 4.0);
+/// let b = stone_radio::shadowing::value_noise_2d(7, 1, 3.0, 4.0, 4.0);
+/// assert_eq!(a, b); // pure function of its arguments
+/// ```
+#[must_use]
+pub fn value_noise_2d(seed: u64, salt: u64, x: f64, y: f64, cell: f64) -> f64 {
+    assert!(cell > 0.0, "noise cell size must be positive");
+    let gx = x / cell;
+    let gy = y / cell;
+    let ix = gx.floor() as i64;
+    let iy = gy.floor() as i64;
+    let fx = smoothstep(gx - ix as f64);
+    let fy = smoothstep(gy - iy as f64);
+    let v00 = lattice_value(seed, salt, ix, iy);
+    let v10 = lattice_value(seed, salt, ix + 1, iy);
+    let v01 = lattice_value(seed, salt, ix, iy + 1);
+    let v11 = lattice_value(seed, salt, ix + 1, iy + 1);
+    let top = v00 + (v10 - v00) * fx;
+    let bot = v01 + (v11 - v01) * fx;
+    top + (bot - top) * fy
+}
+
+/// Smooth 3-D value noise in `[-1, 1]`: two spatial axes with correlation
+/// length `cell` (meters) and one temporal axis with correlation length
+/// `t_cell` (hours). This models *environment churn*: the shadowing field
+/// itself changing over time as people, furniture and doors move — the
+/// paper's core source of fingerprint degradation.
+///
+/// # Panics
+///
+/// Panics when `cell` or `t_cell` is not strictly positive.
+#[must_use]
+pub fn value_noise_3d(seed: u64, salt: u64, x: f64, y: f64, t: f64, cell: f64, t_cell: f64) -> f64 {
+    assert!(cell > 0.0, "noise cell size must be positive");
+    assert!(t_cell > 0.0, "noise time-cell size must be positive");
+    let gt = t / t_cell;
+    let it = gt.floor() as i64;
+    let ft = smoothstep(gt - it as f64);
+    // Two 2-D slices at consecutive time cells, interpolated in time. The
+    // time index is folded into the salt so slices are independent fields.
+    let s0 = salt ^ (it as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+    let s1 = salt ^ ((it + 1) as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+    let v0 = value_noise_2d(seed, s0, x, y, cell);
+    let v1 = value_noise_2d(seed, s1, x, y, cell);
+    v0 + (v1 - v0) * ft
+}
+
+/// Smooth 1-D value noise in `[-1, 1]` with correlation length `cell` (in
+/// the caller's time unit). Used for slow per-AP temporal drift.
+///
+/// # Panics
+///
+/// Panics when `cell` is not strictly positive.
+#[must_use]
+pub fn value_noise_1d(seed: u64, salt: u64, t: f64, cell: f64) -> f64 {
+    assert!(cell > 0.0, "noise cell size must be positive");
+    let g = t / cell;
+    let i = g.floor() as i64;
+    let f = smoothstep(g - i as f64);
+    let v0 = lattice_value(seed, salt, i, 0);
+    let v1 = lattice_value(seed, salt, i + 1, 0);
+    v0 + (v1 - v0) * f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_values_bounded_and_deterministic() {
+        for i in 0..100 {
+            let v = lattice_value(1, 2, i, -i);
+            assert!((-1.0..=1.0).contains(&v));
+            assert_eq!(v, lattice_value(1, 2, i, -i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_fields() {
+        let a = value_noise_2d(1, 0, 2.5, 3.5, 4.0);
+        let b = value_noise_2d(2, 0, 2.5, 3.5, 4.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_salts_give_different_fields() {
+        let a = value_noise_2d(1, 10, 2.5, 3.5, 4.0);
+        let b = value_noise_2d(1, 11, 2.5, 3.5, 4.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn noise_is_continuous() {
+        // Adjacent samples 1 cm apart must differ by a tiny amount.
+        let step = 0.01;
+        let mut prev = value_noise_2d(5, 3, 0.0, 1.3, 4.0);
+        for k in 1..500 {
+            let v = value_noise_2d(5, 3, k as f64 * step, 1.3, 4.0);
+            assert!((v - prev).abs() < 0.05, "jump at step {k}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn noise_decorrelates_across_cells() {
+        // Sample many far-apart points; the field must actually vary.
+        let vals: Vec<f64> =
+            (0..50).map(|k| value_noise_2d(9, 1, k as f64 * 40.0, 0.0, 4.0)).collect();
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.5, "field is too flat: [{min}, {max}]");
+    }
+
+    #[test]
+    fn noise_1d_continuous_and_bounded() {
+        let mut prev = value_noise_1d(3, 7, 0.0, 30.0);
+        for k in 1..1000 {
+            let v = value_noise_1d(3, 7, k as f64 * 0.5, 30.0);
+            assert!((-1.0..=1.0).contains(&v));
+            assert!((v - prev).abs() < 0.05);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn noise_3d_continuous_in_time() {
+        let mut prev = value_noise_3d(4, 9, 3.0, 2.0, 0.0, 3.0, 8.0);
+        for k in 1..500 {
+            let v = value_noise_3d(4, 9, 3.0, 2.0, k as f64 * 0.1, 3.0, 8.0);
+            assert!((-1.0..=1.0).contains(&v));
+            assert!((v - prev).abs() < 0.06, "time jump at {k}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn noise_3d_changes_across_time_cells() {
+        let a = value_noise_3d(4, 9, 3.0, 2.0, 0.0, 3.0, 8.0);
+        let deltas: f64 = (1..=20)
+            .map(|k| (value_noise_3d(4, 9, 3.0, 2.0, k as f64 * 8.0, 3.0, 8.0) - a).abs())
+            .sum();
+        assert!(deltas > 1.0, "churn field too static: {deltas}");
+    }
+
+    #[test]
+    fn noise_3d_spatially_correlated() {
+        // 10 cm apart at the same instant: nearly identical.
+        let a = value_noise_3d(4, 9, 3.0, 2.0, 5.0, 3.0, 8.0);
+        let b = value_noise_3d(4, 9, 3.1, 2.0, 5.0, 3.0, 8.0);
+        assert!((a - b).abs() < 0.1);
+    }
+
+    #[test]
+    fn splitmix_spreads_bits() {
+        // Consecutive inputs should produce wildly different outputs.
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert!(a != b && (a ^ b).count_ones() > 10);
+    }
+}

@@ -1,0 +1,320 @@
+//! Temporal variation of the radio channel.
+//!
+//! The paper's central observation (Sec. I, V.B) is that RSSI fingerprints
+//! drift at *every* temporal granularity: hours (human activity), days, and
+//! months (environmental/infrastructure change). This module models:
+//!
+//! * **slow drift** — a smooth per-AP process over weeks/months built from
+//!   1-D value noise (deterministic per seed);
+//! * **diurnal attenuation** — a human-activity curve peaking mid-day
+//!   scaled by a per-AP sensitivity, so 8 AM / 3 PM / 9 PM scans differ the
+//!   way the paper's CI 0–2 do;
+//! * **fast fading** — i.i.d. Gaussian measurement noise drawn from the
+//!   caller's RNG.
+
+use rand::rngs::StdRng;
+
+use crate::geom::Point2;
+use crate::shadowing::{lattice_value, splitmix64, value_noise_1d, value_noise_3d};
+use crate::time::SimTime;
+
+/// Parameters of the temporal channel model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TemporalModel {
+    /// Standard scale of the slow per-AP drift, in dB (peak amplitude).
+    pub drift_db: f64,
+    /// Correlation length of the slow drift, in days.
+    pub drift_period_days: f64,
+    /// Peak extra attenuation from mid-day human activity, in dB.
+    pub diurnal_db: f64,
+    /// Standard deviation of fast per-measurement fading, in dB.
+    pub fast_fading_db: f64,
+    /// Amplitude of slow *environment churn*, in dB: the shadowing field
+    /// itself changing over weeks/months (furniture, equipment, materials —
+    /// the paper's Sec. I list). Spatially local, unlike `drift_db`.
+    pub churn_slow_db: f64,
+    /// Amplitude of fast environment churn, in dB: hour-scale local changes
+    /// (people, doors). Drives the paper's CI0→CI1 degradation.
+    pub churn_fast_db: f64,
+    /// Spatial correlation length of the churn fields, in meters.
+    pub churn_cell_m: f64,
+    /// Amplitude of the slow *apparent-position warp*, in meters: as
+    /// multipath conditions change over weeks/months, the spatial pattern of
+    /// each AP's signal shifts as if the AP had moved. This is the mechanism
+    /// that actually relocates nearest-neighbour matches (and hence causes
+    /// the month-scale accuracy loss the paper documents).
+    pub warp_slow_m: f64,
+    /// Amplitude of the fast (hour-scale) apparent-position warp, in meters
+    /// — doors, crowds; drives the paper's CI0→CI1 jump.
+    pub warp_fast_m: f64,
+}
+
+impl TemporalModel {
+    /// Correlation time of the slow churn field, in hours (≈2 weeks).
+    pub const SLOW_CHURN_HOURS: f64 = 14.0 * 24.0;
+    /// Correlation time of the fast churn field, in hours.
+    pub const FAST_CHURN_HOURS: f64 = 7.0;
+
+    /// A model with typical office-building magnitudes.
+    #[must_use]
+    pub fn typical() -> Self {
+        Self {
+            drift_db: 5.0,
+            drift_period_days: 45.0,
+            diurnal_db: 3.0,
+            fast_fading_db: 1.8,
+            churn_slow_db: 4.0,
+            churn_fast_db: 2.0,
+            churn_cell_m: 3.0,
+            warp_slow_m: 2.0,
+            warp_fast_m: 0.5,
+        }
+    }
+
+    /// A quiet environment (little drift; useful for unit tests).
+    #[must_use]
+    pub fn quiet() -> Self {
+        Self {
+            drift_db: 0.0,
+            drift_period_days: 45.0,
+            diurnal_db: 0.0,
+            fast_fading_db: 0.0,
+            churn_slow_db: 0.0,
+            churn_fast_db: 0.0,
+            churn_cell_m: 3.0,
+            warp_slow_m: 0.0,
+            warp_fast_m: 0.0,
+        }
+    }
+
+    /// Apparent-position offset of an AP at time `t`, in meters.
+    ///
+    /// Deterministic in `(seed, ap_salt, t)`; zero at `t = 0` is *not*
+    /// guaranteed (the reference survey simply samples the field at its own
+    /// time), but the *difference* between survey time and query time is
+    /// what displaces fingerprint matches.
+    #[must_use]
+    pub fn warp_offset_m(&self, seed: u64, ap_salt: u64, t: SimTime) -> (f64, f64) {
+        let mut wx = 0.0;
+        let mut wy = 0.0;
+        if self.warp_slow_m != 0.0 {
+            let days = t.days();
+            wx += self.warp_slow_m
+                * value_noise_1d(seed ^ 0x3A12, ap_salt, days, self.drift_period_days);
+            wy += self.warp_slow_m
+                * value_noise_1d(seed ^ 0x3A13, ap_salt, days, self.drift_period_days);
+        }
+        if self.warp_fast_m != 0.0 {
+            let hours = t.hours();
+            wx += self.warp_fast_m
+                * value_noise_1d(seed ^ 0x3A14, ap_salt, hours, Self::FAST_CHURN_HOURS);
+            wy += self.warp_fast_m
+                * value_noise_1d(seed ^ 0x3A15, ap_salt, hours, Self::FAST_CHURN_HOURS);
+        }
+        (wx, wy)
+    }
+
+    /// Spatially-local churn offset of the channel between an AP and a
+    /// receiver position, in dB. Deterministic in
+    /// `(seed, ap_salt, pos, t)`; evolves over hours (fast field) and weeks
+    /// (slow field).
+    #[must_use]
+    pub fn churn_offset_db(&self, seed: u64, ap_salt: u64, pos: Point2, t: SimTime) -> f64 {
+        let mut v = 0.0;
+        if self.churn_slow_db != 0.0 {
+            v += self.churn_slow_db
+                * value_noise_3d(
+                    seed ^ 0x51_0C,
+                    ap_salt,
+                    pos.x,
+                    pos.y,
+                    t.hours(),
+                    self.churn_cell_m,
+                    Self::SLOW_CHURN_HOURS,
+                );
+        }
+        if self.churn_fast_db != 0.0 {
+            v += self.churn_fast_db
+                * value_noise_3d(
+                    seed ^ 0xFA_57,
+                    ap_salt,
+                    pos.x,
+                    pos.y,
+                    t.hours(),
+                    self.churn_cell_m,
+                    Self::FAST_CHURN_HOURS,
+                );
+        }
+        v
+    }
+
+    /// Human-activity factor in `[0, 1]` for a given hour of day: near zero
+    /// at night, peaking in the early afternoon.
+    #[must_use]
+    pub fn activity_factor(hour_of_day: f64) -> f64 {
+        // Smooth bump centered at 14:00 with ~12 h support.
+        let x = (hour_of_day - 14.0) / 6.0;
+        (-x * x).exp()
+    }
+
+    /// Slow drift offset for an AP at time `t`, in dB. Deterministic in
+    /// `(seed, ap_salt, t)`.
+    #[must_use]
+    pub fn drift_offset_db(&self, seed: u64, ap_salt: u64, t: SimTime) -> f64 {
+        if self.drift_db == 0.0 {
+            return 0.0;
+        }
+        // Two octaves of 1-D value noise for a less sinusoidal trajectory.
+        let days = t.days();
+        let base = value_noise_1d(seed ^ 0xD1F7, ap_salt, days, self.drift_period_days);
+        let fine = value_noise_1d(seed ^ 0x5EED, ap_salt, days, self.drift_period_days / 3.0);
+        self.drift_db * (0.75 * base + 0.25 * fine)
+    }
+
+    /// Diurnal attenuation for an AP at time `t`, in dB (non-positive
+    /// contribution to RSSI). Each AP has a hash-derived sensitivity in
+    /// `[0.3, 1.0]` — APs in busy corridors suffer more than ones in closets.
+    #[must_use]
+    pub fn diurnal_attenuation_db(&self, seed: u64, ap_salt: u64, t: SimTime) -> f64 {
+        if self.diurnal_db == 0.0 {
+            return 0.0;
+        }
+        let sensitivity = 0.3
+            + 0.7 * ((splitmix64(seed ^ ap_salt ^ 0xD1A1_0C01) >> 11) as f64
+                / (1u64 << 53) as f64);
+        self.diurnal_db * sensitivity * Self::activity_factor(t.hour_of_day())
+    }
+
+    /// Fast per-measurement fading sample, in dB.
+    #[must_use]
+    pub fn fast_fading_db(&self, rng: &mut StdRng) -> f64 {
+        if self.fast_fading_db == 0.0 {
+            return 0.0;
+        }
+        f64::from(stone_sample_normal(rng)) * self.fast_fading_db
+    }
+
+    /// Extra lattice-derived static offset distinguishing one AP's average
+    /// behaviour from another's (hardware spread), in dB.
+    #[must_use]
+    pub fn hardware_offset_db(seed: u64, ap_salt: u64) -> f64 {
+        2.0 * lattice_value(seed ^ 0x4A5D_0FF5, ap_salt, 1, 1)
+    }
+}
+
+/// One standard-normal sample via Box-Muller on the caller's RNG.
+fn stone_sample_normal(rng: &mut StdRng) -> f32 {
+    use rand::Rng;
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn activity_peaks_midday() {
+        let morning = TemporalModel::activity_factor(8.0);
+        let midday = TemporalModel::activity_factor(14.0);
+        let night = TemporalModel::activity_factor(2.0);
+        assert!(midday > morning && morning > night);
+        assert!((midday - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quiet_model_is_silent() {
+        let m = TemporalModel::quiet();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(m.drift_offset_db(1, 2, SimTime::from_months(3.0)), 0.0);
+        assert_eq!(m.diurnal_attenuation_db(1, 2, SimTime::from_hours(14.0)), 0.0);
+        assert_eq!(m.fast_fading_db(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn drift_is_smooth_and_bounded() {
+        let m = TemporalModel::typical();
+        let mut prev = m.drift_offset_db(7, 1, SimTime::start());
+        for k in 1..2000 {
+            let t = SimTime::from_hours(k as f64 * 6.0);
+            let v = m.drift_offset_db(7, 1, t);
+            assert!(v.abs() <= m.drift_db + 1e-9);
+            assert!((v - prev).abs() < 0.6, "drift jumped at {t}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn drift_changes_over_months() {
+        let m = TemporalModel::typical();
+        let v0 = m.drift_offset_db(7, 1, SimTime::start());
+        let deltas: f64 = (1..=8)
+            .map(|mo| (m.drift_offset_db(7, 1, SimTime::from_months(mo as f64)) - v0).abs())
+            .sum();
+        assert!(deltas > 1.0, "drift too small over 8 months: {deltas}");
+    }
+
+    #[test]
+    fn drift_differs_across_aps() {
+        let m = TemporalModel::typical();
+        let t = SimTime::from_months(2.0);
+        assert_ne!(m.drift_offset_db(7, 1, t), m.drift_offset_db(7, 2, t));
+    }
+
+    #[test]
+    fn diurnal_attenuation_nonnegative_and_peaked() {
+        let m = TemporalModel::typical();
+        let am = m.diurnal_attenuation_db(3, 5, SimTime::from_hours(8.0));
+        let noonish = m.diurnal_attenuation_db(3, 5, SimTime::from_hours(15.0));
+        let night = m.diurnal_attenuation_db(3, 5, SimTime::from_hours(21.0 - 24.0 + 24.0));
+        assert!(am >= 0.0 && noonish >= 0.0 && night >= 0.0);
+        assert!(noonish > am && am > night);
+    }
+
+    #[test]
+    fn churn_changes_fingerprints_over_hours() {
+        let m = TemporalModel::typical();
+        let p = Point2::new(5.0, 1.0);
+        let a = m.churn_offset_db(1, 2, p, SimTime::from_hours(8.0));
+        let b = m.churn_offset_db(1, 2, p, SimTime::from_hours(15.0));
+        // 7 hours later the fast field has largely decorrelated.
+        assert_ne!(a, b);
+        // And it is deterministic.
+        assert_eq!(a, m.churn_offset_db(1, 2, p, SimTime::from_hours(8.0)));
+    }
+
+    #[test]
+    fn churn_is_spatially_local() {
+        let m = TemporalModel::typical();
+        let t = SimTime::from_hours(8.0);
+        let near = (m.churn_offset_db(1, 2, Point2::new(5.0, 1.0), t)
+            - m.churn_offset_db(1, 2, Point2::new(5.2, 1.0), t))
+        .abs();
+        // Nearby points move together; the field must not be i.i.d. noise.
+        assert!(near < 1.5, "churn not spatially correlated: {near}");
+    }
+
+    #[test]
+    fn quiet_model_has_no_churn() {
+        let m = TemporalModel::quiet();
+        assert_eq!(
+            m.churn_offset_db(1, 2, Point2::new(3.0, 3.0), SimTime::from_months(2.0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn fast_fading_has_configured_scale() {
+        let m = TemporalModel::typical();
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.fast_fading_db(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05);
+        assert!((var.sqrt() - 1.8).abs() < 0.1);
+    }
+}

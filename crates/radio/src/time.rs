@@ -1,0 +1,123 @@
+//! Simulation time.
+
+/// A point in simulated time, measured in hours since the start of the
+/// deployment (the first fingerprint collection).
+///
+/// Months follow the paper's convention of ≈30-day spacing between the
+/// monthly collection instances.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimTime {
+    hours: f64,
+}
+
+impl SimTime {
+    /// Hours per simulated day.
+    pub const HOURS_PER_DAY: f64 = 24.0;
+    /// Days per simulated month (paper: monthly CIs ≈30 days apart).
+    pub const DAYS_PER_MONTH: f64 = 30.0;
+
+    /// Time zero: the first offline collection.
+    #[must_use]
+    pub fn start() -> Self {
+        Self { hours: 0.0 }
+    }
+
+    /// Creates a time from hours since deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite input.
+    #[must_use]
+    pub fn from_hours(hours: f64) -> Self {
+        assert!(hours.is_finite() && hours >= 0.0, "time must be finite and non-negative");
+        Self { hours }
+    }
+
+    /// Creates a time from whole days since deployment.
+    #[must_use]
+    pub fn from_days(days: f64) -> Self {
+        Self::from_hours(days * Self::HOURS_PER_DAY)
+    }
+
+    /// Creates a time from months since deployment (30-day months).
+    #[must_use]
+    pub fn from_months(months: f64) -> Self {
+        Self::from_days(months * Self::DAYS_PER_MONTH)
+    }
+
+    /// Hours since deployment.
+    #[must_use]
+    pub fn hours(&self) -> f64 {
+        self.hours
+    }
+
+    /// Days since deployment.
+    #[must_use]
+    pub fn days(&self) -> f64 {
+        self.hours / Self::HOURS_PER_DAY
+    }
+
+    /// Months since deployment (30-day months).
+    #[must_use]
+    pub fn months(&self) -> f64 {
+        self.days() / Self::DAYS_PER_MONTH
+    }
+
+    /// Hour of the (24-hour) day in `[0, 24)`, for diurnal effects.
+    #[must_use]
+    pub fn hour_of_day(&self) -> f64 {
+        self.hours.rem_euclid(Self::HOURS_PER_DAY)
+    }
+
+    /// Returns this time advanced by `hours`.
+    #[must_use]
+    pub fn plus_hours(&self, hours: f64) -> Self {
+        Self::from_hours(self.hours + hours)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.hours < Self::HOURS_PER_DAY {
+            write!(f, "{:.1} h", self.hours)
+        } else if self.days() < Self::DAYS_PER_MONTH {
+            write!(f, "{:.1} d", self.days())
+        } else {
+            write!(f, "{:.1} mo", self.months())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = SimTime::from_months(2.0);
+        assert_eq!(t.days(), 60.0);
+        assert_eq!(t.hours(), 1440.0);
+        assert_eq!(SimTime::from_days(1.5).hours(), 36.0);
+    }
+
+    #[test]
+    fn hour_of_day_wraps() {
+        assert_eq!(SimTime::from_hours(8.0).hour_of_day(), 8.0);
+        assert_eq!(SimTime::from_hours(24.0 + 15.0).hour_of_day(), 15.0);
+        assert_eq!(SimTime::from_days(45.0).hour_of_day(), 0.0);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimTime::from_hours(6.0).to_string(), "6.0 h");
+        assert_eq!(SimTime::from_days(3.0).to_string(), "3.0 d");
+        assert_eq!(SimTime::from_months(8.0).to_string(), "8.0 mo");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_hours(-1.0);
+    }
+}

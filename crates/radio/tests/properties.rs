@@ -1,0 +1,84 @@
+//! Property-based tests for the radio simulator.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stone_radio::{presets, shadowing, Point2, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn scans_always_in_valid_range(
+        seed in 0u64..50,
+        x in 0.0f64..48.0,
+        y in -5.0f64..7.0,
+        hours in 0.0f64..6000.0,
+    ) {
+        let env = presets::office_environment(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let scan = env.scan(Point2::new(x, y), SimTime::from_hours(hours), &mut rng);
+        prop_assert_eq!(scan.len(), env.ap_count());
+        for v in scan.into_iter().flatten() {
+            prop_assert!((-100.0..=0.0).contains(&v), "rssi {} out of range", v);
+        }
+    }
+
+    #[test]
+    fn channel_is_pure_function_of_inputs(
+        seed in 0u64..20,
+        x in 0.0f64..36.0,
+        y in 0.0f64..30.0,
+        hours in 0.0f64..3000.0,
+    ) {
+        let env = presets::uji_hall_environment(seed);
+        let t = SimTime::from_hours(hours);
+        let p = Point2::new(x, y);
+        let a = env.scan(p, t, &mut StdRng::seed_from_u64(9));
+        let b = env.scan(p, t, &mut StdRng::seed_from_u64(9));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn value_noise_bounded_everywhere(
+        seed in any::<u64>(),
+        salt in any::<u64>(),
+        x in -1e4f64..1e4,
+        y in -1e4f64..1e4,
+    ) {
+        let v = shadowing::value_noise_2d(seed, salt, x, y, 4.0);
+        prop_assert!((-1.0..=1.0).contains(&v));
+        let w = shadowing::value_noise_3d(seed, salt, x, y, x.abs(), 4.0, 8.0);
+        prop_assert!((-1.0..=1.0).contains(&w));
+    }
+
+    #[test]
+    fn nearby_positions_have_similar_channels(
+        seed in 0u64..20,
+        x in 1.0f64..46.0,
+    ) {
+        // Spatial coherence: moving 5 cm must not change the mean channel
+        // by more than a couple of dB for any visible AP — unless the step
+        // crosses a wall, which legitimately jumps by the wall attenuation.
+        let env = presets::office_environment(seed);
+        let t = SimTime::from_hours(10.0);
+        let pa = Point2::new(x, 1.0);
+        let pb = Point2::new(x + 0.05, 1.0);
+        for (idx, ap) in env.aps().iter().enumerate() {
+            if env.floorplan().walls_crossed(ap.pos, pa)
+                != env.floorplan().walls_crossed(ap.pos, pb)
+            {
+                continue;
+            }
+            let a = env.channel_rssi_dbm(idx, pa, t, &mut StdRng::seed_from_u64(1));
+            let b = env.channel_rssi_dbm(idx, pb, t, &mut StdRng::seed_from_u64(1));
+            if let (Some(a), Some(b)) = (a, b) {
+                // Fast fading uses identical rng streams, so the difference
+                // is purely spatial. The warp can shift the *apparent* AP
+                // position across a wall relative to the survey, so allow a
+                // one-wall margin on top of smooth-field variation.
+                prop_assert!((a - b).abs() < 10.0, "AP {} jumped {} dB over 5 cm", idx, (a - b).abs());
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+use std::fmt;
+
+/// Errors produced by fallible tensor and linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// length supplied (or required) by an operation.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        got: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the tensor that was provided.
+        got: usize,
+    },
+    /// A linear system could not be solved because the matrix is singular
+    /// (or numerically too close to singular).
+    SingularMatrix,
+    /// A shape dimension was invalid for the requested operation (for
+    /// example, a zero-sized convolution window).
+    InvalidDimension {
+        /// Human-readable description of the offending dimension.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, got } => {
+                write!(f, "shape implies {expected} elements but {got} were provided")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "incompatible operand shapes {left:?} and {right:?}")
+            }
+            TensorError::RankMismatch { expected, got } => {
+                write!(f, "operation requires rank {expected} but tensor has rank {got}")
+            }
+            TensorError::SingularMatrix => write!(f, "matrix is singular or near-singular"),
+            TensorError::InvalidDimension { what } => write!(f, "invalid dimension: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,46 @@
+//! # stone-tensor
+//!
+//! A minimal, dependency-light dense `f32` tensor and linear-algebra substrate
+//! for the STONE indoor-localization reproduction.
+//!
+//! The crate provides exactly what the higher layers need and nothing more:
+//!
+//! * [`Tensor`] — an owned, row-major, arbitrary-rank dense tensor;
+//! * matrix products ([`matmul`], [`matmul_at_b`], [`matmul_a_bt`]) tuned for
+//!   the single-core machines this reproduction targets;
+//! * [`im2col`]/[`col2im`] lowering used by the convolution layers in
+//!   `stone-nn`;
+//! * seeded random fills (uniform and Box-Muller normal) in [`rng`];
+//! * small dense solvers ([`linalg::solve`], [`linalg::ridge_regression`])
+//!   used by the LT-KNN baseline's AP-imputation step.
+//!
+//! # Example
+//!
+//! ```
+//! use stone_tensor::{matmul, Tensor};
+//!
+//! let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+//! let i = Tensor::eye(2);
+//! assert_eq!(matmul(&a, &i).as_slice(), a.as_slice());
+//! # Ok::<(), stone_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod error;
+pub mod linalg;
+mod matmul;
+mod reduce;
+pub mod rng;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use error::TensorError;
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use reduce::{argmax, mean_all, softmax_rows, sum_all, sum_axis0};
+pub use tensor::Tensor;
+
+/// Convenient result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

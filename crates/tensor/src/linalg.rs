@@ -1,0 +1,238 @@
+//! Small dense linear-algebra routines.
+//!
+//! These back the LT-KNN baseline's regression imputation of removed access
+//! points: each missing AP's RSSI is predicted from still-visible APs with a
+//! ridge-regularized least-squares fit, which reduces to a small dense solve.
+
+use crate::{matmul_at_b, Result, Tensor, TensorError};
+
+/// Solves the dense linear system `A x = b` with Gaussian elimination and
+/// partial pivoting.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] when `a` is not rank 2,
+/// [`TensorError::ShapeMismatch`] when `a` is not square or `b` has the wrong
+/// length, and [`TensorError::SingularMatrix`] when no pivot above `1e-9` can
+/// be found.
+///
+/// # Example
+///
+/// ```
+/// use stone_tensor::{linalg, Tensor};
+///
+/// let a = Tensor::from_vec(vec![2, 2], vec![2.0, 1.0, 1.0, 3.0])?;
+/// let x = linalg::solve(&a, &[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-5 && (x[1] - 1.4).abs() < 1e-5);
+/// # Ok::<(), stone_tensor::TensorError>(())
+/// ```
+pub fn solve(a: &Tensor, b: &[f32]) -> Result<Vec<f32>> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, got: a.rank() });
+    }
+    let n = a.shape()[0];
+    if a.shape()[1] != n || b.len() != n {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: vec![b.len()],
+        });
+    }
+    // Augmented matrix in f64 for stability of the elimination.
+    let mut m: Vec<f64> = Vec::with_capacity(n * (n + 1));
+    for i in 0..n {
+        m.extend(a.row(i).iter().map(|&v| v as f64));
+        m.push(b[i] as f64);
+    }
+    let w = n + 1;
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for r in (col + 1)..n {
+            if m[r * w + col].abs() > m[pivot * w + col].abs() {
+                pivot = r;
+            }
+        }
+        if m[pivot * w + col].abs() < 1e-9 {
+            return Err(TensorError::SingularMatrix);
+        }
+        if pivot != col {
+            for k in 0..w {
+                m.swap(col * w + k, pivot * w + k);
+            }
+        }
+        let pv = m[col * w + col];
+        for r in (col + 1)..n {
+            let factor = m[r * w + col] / pv;
+            if factor != 0.0 {
+                for k in col..w {
+                    m[r * w + k] -= factor * m[col * w + k];
+                }
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut acc = m[i * w + n];
+        for j in (i + 1)..n {
+            acc -= m[i * w + j] * x[j];
+        }
+        x[i] = acc / m[i * w + i];
+    }
+    Ok(x.into_iter().map(|v| v as f32).collect())
+}
+
+/// Fits ridge-regularized least squares: returns the `w` minimizing
+/// `||X w - y||² + lambda ||w||²` for `x: [m, p]` and `y: [m]`.
+///
+/// A column of ones is **not** added automatically; callers wanting an
+/// intercept should append a constant feature.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when `y.len() != m`, and
+/// [`TensorError::SingularMatrix`] when the regularized normal equations are
+/// singular (only possible with `lambda == 0` and rank-deficient `X`).
+///
+/// # Example
+///
+/// ```
+/// use stone_tensor::{linalg, Tensor};
+///
+/// // y = 2 a - b, noiseless.
+/// let x = Tensor::from_vec(vec![4, 2], vec![1., 0., 0., 1., 1., 1., 2., 1.])?;
+/// let y = [2.0, -1.0, 1.0, 3.0];
+/// let w = linalg::ridge_regression(&x, &y, 1e-6)?;
+/// assert!((w[0] - 2.0).abs() < 1e-3 && (w[1] + 1.0).abs() < 1e-3);
+/// # Ok::<(), stone_tensor::TensorError>(())
+/// ```
+pub fn ridge_regression(x: &Tensor, y: &[f32], lambda: f32) -> Result<Vec<f32>> {
+    if x.rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, got: x.rank() });
+    }
+    let (m, p) = (x.rows(), x.cols());
+    if y.len() != m {
+        return Err(TensorError::ShapeMismatch {
+            left: x.shape().to_vec(),
+            right: vec![y.len()],
+        });
+    }
+    // Normal equations: (XᵀX + λI) w = Xᵀ y.
+    let mut xtx = matmul_at_b(x, x);
+    for i in 0..p {
+        let v = xtx.at2(i, i) + lambda;
+        xtx.set2(i, i, v);
+    }
+    let mut xty = vec![0.0f32; p];
+    for i in 0..m {
+        let row = x.row(i);
+        for (j, &v) in row.iter().enumerate() {
+            xty[j] += v * y[i];
+        }
+    }
+    solve(&xtx, &xty)
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// Returns `0.0` when either input has zero variance (a degenerate but
+/// common case for always-missing APs).
+///
+/// # Panics
+///
+/// Panics when the slices have different lengths.
+#[must_use]
+pub fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "pearson requires equal lengths");
+    let n = a.len() as f32;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f32>() / n;
+    let mb = b.iter().sum::<f32>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= f32::EPSILON || vb <= f32::EPSILON {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let x = solve(&Tensor::eye(3), &[1., 2., 3.]).unwrap();
+        assert_eq!(x, vec![1., 2., 3.]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Tensor::from_vec(vec![2, 2], vec![0., 1., 1., 0.]).unwrap();
+        let x = solve(&a, &[5., 7.]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-6 && (x[1] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1., 2., 2., 4.]).unwrap();
+        assert_eq!(solve(&a, &[1., 2.]).unwrap_err(), TensorError::SingularMatrix);
+    }
+
+    #[test]
+    fn solve_rejects_bad_shapes() {
+        let a = Tensor::zeros(vec![2, 3]);
+        assert!(solve(&a, &[1., 2.]).is_err());
+        let b = Tensor::eye(2);
+        assert!(solve(&b, &[1., 2., 3.]).is_err());
+    }
+
+    #[test]
+    fn solve_matches_known_3x3() {
+        let a = Tensor::from_vec(vec![3, 3], vec![2., 1., -1., -3., -1., 2., -2., 1., 2.]).unwrap();
+        let x = solve(&a, &[8., -11., -3.]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-4);
+        assert!((x[1] - 3.0).abs() < 1e-4);
+        assert!((x[2] + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ridge_shrinks_toward_zero() {
+        let x = Tensor::from_vec(vec![3, 1], vec![1., 2., 3.]).unwrap();
+        let y = [2., 4., 6.];
+        let w0 = ridge_regression(&x, &y, 1e-6).unwrap();
+        let w1 = ridge_regression(&x, &y, 100.0).unwrap();
+        assert!((w0[0] - 2.0).abs() < 1e-3);
+        assert!(w1[0] < w0[0] && w1[0] > 0.0);
+    }
+
+    #[test]
+    fn ridge_handles_collinear_features() {
+        // Duplicated feature is rank-deficient; ridge must still solve.
+        let x = Tensor::from_vec(vec![3, 2], vec![1., 1., 2., 2., 3., 3.]).unwrap();
+        let y = [2., 4., 6.];
+        let w = ridge_regression(&x, &y, 0.1).unwrap();
+        // Weight mass splits between the two identical columns.
+        assert!((w[0] - w[1]).abs() < 1e-4);
+        assert!((w[0] + w[1] - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1., 2., 3.], &[2., 4., 6.]) - 1.0).abs() < 1e-6);
+        assert!((pearson(&[1., 2., 3.], &[-1., -2., -3.]) + 1.0).abs() < 1e-6);
+        assert_eq!(pearson(&[1., 1., 1.], &[1., 2., 3.]), 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Dense matrix products.
+//!
+//! Three variants cover every product the backpropagation code needs without
+//! ever materializing an explicit transpose:
+//!
+//! * [`matmul`]      — `C = A · B`
+//! * [`matmul_at_b`] — `C = Aᵀ · B` (used for input gradients)
+//! * [`matmul_a_bt`] — `C = A · Bᵀ` (used for weight gradients)
+//!
+//! All three use cache-friendly loop orders over contiguous rows so the
+//! compiler can autovectorize the inner loops; on the single-core target
+//! machine this reaches a large fraction of scalar-SIMD peak for the small
+//! matrices (hundreds of rows/cols) that the STONE encoder produces.
+
+use crate::Tensor;
+
+/// Computes `A · B` for `A: [m, k]` and `B: [k, n]`.
+///
+/// # Panics
+///
+/// Panics when either operand is not rank 2 or the inner dimensions differ.
+///
+/// # Example
+///
+/// ```
+/// use stone_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.])?;
+/// let b = Tensor::from_vec(vec![2, 1], vec![5., 6.])?;
+/// assert_eq!(matmul(&a, &b).as_slice(), &[17., 39.]);
+/// # Ok::<(), stone_tensor::TensorError>(())
+/// ```
+#[must_use]
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (bk, n) = (b.rows(), b.cols());
+    assert_eq!(k, bk, "matmul inner dimensions differ: {k} vs {bk}");
+    let mut c = Tensor::zeros(vec![m, n]);
+    let bd = b.as_slice();
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (p, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                let brow = &bd[p * n..(p + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Computes `Aᵀ · B` for `A: [m, k]` and `B: [m, n]`, yielding `[k, n]`.
+///
+/// # Panics
+///
+/// Panics when either operand is not rank 2 or the leading dimensions differ.
+///
+/// # Example
+///
+/// ```
+/// use stone_tensor::{matmul, matmul_at_b, Tensor};
+///
+/// let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.])?;
+/// let b = Tensor::from_vec(vec![2, 2], vec![1., 0., 0., 1.])?;
+/// assert_eq!(matmul_at_b(&a, &b), matmul(&a.transposed(), &b));
+/// # Ok::<(), stone_tensor::TensorError>(())
+/// ```
+#[must_use]
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (bm, n) = (b.rows(), b.cols());
+    assert_eq!(m, bm, "matmul_at_b leading dimensions differ: {m} vs {bm}");
+    let mut c = Tensor::zeros(vec![k, n]);
+    let cd = c.as_mut_slice();
+    for i in 0..m {
+        let arow = a.row(i);
+        let brow = b.row(i);
+        for (p, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                let crow = &mut cd[p * n..(p + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Computes `A · Bᵀ` for `A: [m, k]` and `B: [n, k]`, yielding `[m, n]`.
+///
+/// # Panics
+///
+/// Panics when either operand is not rank 2 or the trailing dimensions
+/// differ.
+///
+/// # Example
+///
+/// ```
+/// use stone_tensor::{matmul, matmul_a_bt, Tensor};
+///
+/// let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.])?;
+/// let b = Tensor::from_vec(vec![2, 3], vec![1., 1., 1., 2., 2., 2.])?;
+/// assert_eq!(matmul_a_bt(&a, &b), matmul(&a, &b.transposed()));
+/// # Ok::<(), stone_tensor::TensorError>(())
+/// ```
+#[must_use]
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, bk) = (b.rows(), b.cols());
+    assert_eq!(k, bk, "matmul_a_bt trailing dimensions differ: {k} vs {bk}");
+    let mut c = Tensor::zeros(vec![m, n]);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = b.row(j);
+            *cv = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::from_vec(shape.to_vec(), data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = t(&[2, 3], &[1., 2., 3., 4., 5., 6.]);
+        let b = t(&[3, 2], &[7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = t(&[3, 3], &[1., 2., 3., 4., 5., 6., 7., 8., 9.]);
+        assert_eq!(matmul(&a, &Tensor::eye(3)), a);
+        assert_eq!(matmul(&Tensor::eye(3), &a), a);
+    }
+
+    #[test]
+    fn matmul_zero_annihilates() {
+        let a = t(&[2, 2], &[1., 2., 3., 4.]);
+        let z = Tensor::zeros(vec![2, 2]);
+        assert_eq!(matmul(&a, &z), z);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = t(&[3, 2], &[1., 2., 3., 4., 5., 6.]);
+        let b = t(&[3, 4], &[1., 0., 2., 0., 0., 1., 0., 2., 1., 1., 1., 1.]);
+        assert_eq!(matmul_at_b(&a, &b), matmul(&a.transposed(), &b));
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = t(&[3, 2], &[1., 2., 3., 4., 5., 6.]);
+        let b = t(&[4, 2], &[1., 0., 0., 1., 1., 1., 2., 3.]);
+        assert_eq!(matmul_a_bt(&a, &b), matmul(&a, &b.transposed()));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![2, 3]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn rectangular_chain_shapes() {
+        let a = Tensor::ones(vec![4, 5]);
+        let b = Tensor::ones(vec![5, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[4, 2]);
+        assert!(c.as_slice().iter().all(|&x| (x - 5.0).abs() < 1e-6));
+    }
+}

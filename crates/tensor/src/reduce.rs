@@ -1,0 +1,128 @@
+//! Reductions and row-wise transforms.
+
+use crate::Tensor;
+
+/// Sum of all elements.
+///
+/// # Example
+///
+/// ```
+/// use stone_tensor::{sum_all, Tensor};
+/// assert_eq!(sum_all(&Tensor::from_slice(&[1.0, 2.0, 3.0])), 6.0);
+/// ```
+#[must_use]
+pub fn sum_all(t: &Tensor) -> f32 {
+    t.as_slice().iter().sum()
+}
+
+/// Mean of all elements; `0.0` for an empty tensor.
+#[must_use]
+pub fn mean_all(t: &Tensor) -> f32 {
+    if t.is_empty() {
+        0.0
+    } else {
+        sum_all(t) / t.len() as f32
+    }
+}
+
+/// Sums a rank-2 tensor over its rows, producing one value per column.
+///
+/// This is the reduction used for bias gradients over a batch.
+///
+/// # Panics
+///
+/// Panics when `t` is not rank 2.
+#[must_use]
+pub fn sum_axis0(t: &Tensor) -> Tensor {
+    let (m, n) = (t.rows(), t.cols());
+    let mut out = Tensor::zeros(vec![n]);
+    let o = out.as_mut_slice();
+    for i in 0..m {
+        for (ov, &v) in o.iter_mut().zip(t.row(i)) {
+            *ov += v;
+        }
+    }
+    out
+}
+
+/// Index of the maximum element of a slice (first occurrence on ties).
+///
+/// # Panics
+///
+/// Panics when `xs` is empty.
+#[must_use]
+pub fn argmax(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Row-wise numerically-stable softmax of a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics when `t` is not rank 2.
+#[must_use]
+pub fn softmax_rows(t: &Tensor) -> Tensor {
+    let (m, n) = (t.rows(), t.cols());
+    let mut out = Tensor::zeros(vec![m, n]);
+    for i in 0..m {
+        let row = t.row(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let orow = out.row_mut(i);
+        let mut sum = 0.0;
+        for (o, &v) in orow.iter_mut().zip(row) {
+            *o = (v - max).exp();
+            sum += *o;
+        }
+        for o in orow.iter_mut() {
+            *o /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_and_means() {
+        let t = Tensor::from_slice(&[1., 2., 3., 4.]);
+        assert_eq!(sum_all(&t), 10.0);
+        assert_eq!(mean_all(&t), 2.5);
+        assert_eq!(mean_all(&Tensor::from_slice(&[])), 0.0);
+    }
+
+    #[test]
+    fn sum_axis0_per_column() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 10., 20., 30.]).unwrap();
+        assert_eq!(sum_axis0(&t).as_slice(), &[11., 22., 33.]);
+    }
+
+    #[test]
+    fn argmax_first_tie() {
+        assert_eq!(argmax(&[1., 5., 5., 2.]), 1);
+        assert_eq!(argmax(&[3.]), 0);
+        assert_eq!(argmax(&[-2., -1., -5.]), 1);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 1000., 1000., 1000.]).unwrap();
+        let s = softmax_rows(&t);
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Larger logits get larger probabilities.
+        assert!(s.at2(0, 2) > s.at2(0, 1) && s.at2(0, 1) > s.at2(0, 0));
+        // Stable under large values (no NaN).
+        assert!(s.row(1).iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,98 @@
+//! Seeded random sampling helpers.
+//!
+//! The reproduction only depends on the `rand` crate; normally-distributed
+//! samples are generated with the Box-Muller transform so `rand_distr` is not
+//! required (see the dependency policy in `DESIGN.md`).
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Draws one sample from `N(mean, std²)` using the Box-Muller transform.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let x = stone_tensor::rng::normal(&mut rng, 0.0, 1.0);
+/// assert!(x.is_finite());
+/// ```
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f32, std: f32) -> f32 {
+    // Box-Muller: u1 in (0, 1] so ln(u1) is finite.
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen::<f32>();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mean + std * mag * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Fills a new tensor with independent samples from `N(mean, std²)`.
+#[must_use]
+pub fn normal_tensor<R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: Vec<usize>,
+    mean: f32,
+    std: f32,
+) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| normal(rng, mean, std)).collect();
+    Tensor::from_vec(shape, data).expect("shape/product invariant holds by construction")
+}
+
+/// Fills a new tensor with independent samples from `U[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics when `lo >= hi`.
+#[must_use]
+pub fn uniform_tensor<R: Rng + ?Sized>(rng: &mut R, shape: Vec<usize>, lo: f32, hi: f32) -> Tensor {
+    assert!(lo < hi, "uniform_tensor requires lo < hi");
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(shape, data).expect("shape/product invariant holds by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| normal(&mut rng, 1.5, 2.0)).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!((mean - 1.5).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn normal_is_deterministic_per_seed() {
+        let a: Vec<f32> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..8).map(|_| normal(&mut rng, 0.0, 1.0)).collect()
+        };
+        let b: Vec<f32> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..8).map(|_| normal(&mut rng, 0.0, 1.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = uniform_tensor(&mut rng, vec![1000], -0.25, 0.75);
+        assert!(t.as_slice().iter().all(|&x| (-0.25..0.75).contains(&x)));
+    }
+
+    #[test]
+    fn tensor_fills_have_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(normal_tensor(&mut rng, vec![2, 3], 0.0, 1.0).shape(), &[2, 3]);
+        assert_eq!(uniform_tensor(&mut rng, vec![4], 0.0, 1.0).shape(), &[4]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Bring your own building: construct a custom floorplan, simulate its WiFi
+//! environment, survey fingerprints, and train a localizer — the workflow a
+//! downstream user of this library would follow for their own venue.
+//!
+//! Run with: `cargo run --release --example custom_floorplan`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stone_repro::prelude::*;
+use stone_repro::radio::{
+    AccessPoint, ApId, ApSchedule, DeviceModel, Floorplan, PropagationModel, RadioEnvironment,
+    Rect, Segment, SimTime, TemporalModel, Wall,
+};
+use stone_dataset::{Fingerprint as Fp, FingerprintDataset, ReferencePoint, RpId};
+
+fn main() {
+    // 1. An L-shaped lab: two 20 m wings joined at a corner, one thick
+    //    concrete wall between them.
+    let bounds = Rect::new(Point2::new(0.0, 0.0), Point2::new(24.0, 24.0));
+    let walls = vec![
+        Wall::new(Segment::new(Point2::new(12.0, 0.0), Point2::new(12.0, 12.0)), 9.0),
+        Wall::new(Segment::new(Point2::new(0.0, 12.0), Point2::new(12.0, 12.0)), 9.0),
+    ];
+    let plan = Floorplan::new("l-shaped-lab", bounds, walls);
+
+    // 2. Six APs mounted around the wings.
+    let aps = vec![
+        AccessPoint::new(ApId(0), Point2::new(2.0, 2.0), -40.0),
+        AccessPoint::new(ApId(1), Point2::new(22.0, 2.0), -38.0),
+        AccessPoint::new(ApId(2), Point2::new(2.0, 22.0), -42.0),
+        AccessPoint::new(ApId(3), Point2::new(22.0, 22.0), -40.0),
+        AccessPoint::new(ApId(4), Point2::new(12.0, 18.0), -39.0),
+        AccessPoint::new(ApId(5), Point2::new(18.0, 12.0), -41.0),
+    ];
+
+    let env = RadioEnvironment::new(
+        plan,
+        aps,
+        PropagationModel::open_indoor(),
+        TemporalModel::typical(),
+        ApSchedule::none(),
+        DeviceModel::lg_v20(),
+        1234,
+    );
+
+    // 3. Survey reference points every 3 m along both wings.
+    let mut rps = Vec::new();
+    for k in 0..8 {
+        rps.push(ReferencePoint {
+            id: RpId(k),
+            pos: Point2::new(1.5 + f64::from(k) * 3.0, 6.0),
+        });
+    }
+    for k in 0..6 {
+        rps.push(ReferencePoint {
+            id: RpId(8 + k),
+            pos: Point2::new(18.0, 9.0 + f64::from(k) * 2.5),
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut train = FingerprintDataset::new("l-shaped-lab", env.ap_count(), rps.clone());
+    let t0 = SimTime::from_hours(9.0);
+    for rp in &rps {
+        for _ in 0..5 {
+            let rssi: Vec<f32> = env
+                .scan(rp.pos, t0, &mut rng)
+                .into_iter()
+                .map(|v| v.map_or(-100.0, |x| x as f32))
+                .collect();
+            train.push(Fp { rssi, rp: rp.id, pos: rp.pos, time: t0, ci: 0 });
+        }
+    }
+    println!(
+        "surveyed {} fingerprints at {} RPs over {} APs",
+        train.len(),
+        rps.len(),
+        env.ap_count()
+    );
+
+    // 4. Train and spot-check three months later.
+    let localizer = StoneBuilder::quick().with_embed_dim(4).fit(&train, 5);
+    let t_later = SimTime::from_months(3.0).plus_hours(14.0);
+    let mut total = 0.0;
+    for rp in &rps {
+        let rssi: Vec<f32> = env
+            .scan(rp.pos, t_later, &mut rng)
+            .into_iter()
+            .map(|v| v.map_or(-100.0, |x| x as f32))
+            .collect();
+        total += localizer.locate(&rssi).distance(rp.pos);
+    }
+    println!(
+        "mean error three months after deployment: {:.2} m over {} spots",
+        total / rps.len() as f64,
+        rps.len()
+    );
+}

@@ -1,0 +1,56 @@
+//! Deployment artifacts: export the survey as CSV and the trained encoder
+//! weights as a binary blob (what you would ship to the phone app), then
+//! reload the weights into a fresh network and verify identical embeddings.
+//!
+//! Run with: `cargo run --release --example deploy_and_export`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stone_repro::core::{build_encoder, EncoderConfig, ImageCodec};
+use stone_repro::nn::{load_weights, save_weights};
+use stone_repro::prelude::*;
+use stone_dataset::{io, office_suite};
+
+fn main() {
+    let suite = office_suite(&SuiteConfig::new(3));
+
+    // Export the offline survey as CSV (interoperable with common
+    // fingerprint-dataset tooling).
+    let csv = io::to_csv(&suite.train);
+    println!(
+        "CSV export: {} rows, {} bytes (first line: {})",
+        suite.train.len(),
+        csv.len(),
+        csv.lines().next().unwrap_or("").chars().take(48).collect::<String>() + "..."
+    );
+    let reimported = io::from_csv("reimport", &csv).expect("roundtrip parses");
+    assert_eq!(reimported.len(), suite.train.len());
+    println!("CSV reimport: OK ({} rows)", reimported.len());
+
+    // Train and export the encoder weights.
+    let localizer = StoneBuilder::quick().fit(&suite.train, 3);
+    let blob = save_weights(localizer.encoder().net());
+    println!(
+        "encoder weights: {} parameters -> {} bytes",
+        localizer.encoder().net().param_count(),
+        blob.len()
+    );
+
+    // "On the phone": rebuild the architecture and load the blob.
+    let codec = ImageCodec::new(suite.train.ap_count());
+    let mut rng = StdRng::seed_from_u64(999); // arbitrary: weights get overwritten
+    let mut device_net = build_encoder(
+        &EncoderConfig::paper(codec.side(), localizer.encoder().net().params().last().map_or(8, |p| p.shape()[0])),
+        &mut rng,
+    );
+    load_weights(&mut device_net, &blob).expect("architecture matches");
+
+    // Identical embeddings on both sides.
+    let probe = &suite.train.records()[0].rssi;
+    let host = localizer.embed(probe);
+    let device = device_net
+        .predict(&codec.encode_batch(&[probe.as_slice()]))
+        .into_vec();
+    assert_eq!(host, device);
+    println!("device-side embedding matches host-side embedding: OK");
+}

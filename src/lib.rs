@@ -1,0 +1,34 @@
+//! # stone-repro
+//!
+//! Facade crate for the STONE reproduction workspace. It re-exports every
+//! subsystem so that examples and downstream users can depend on a single
+//! crate:
+//!
+//! * [`tensor`] — dense `f32` tensors and small linear algebra;
+//! * [`nn`] — layer-based neural networks with manual backprop;
+//! * [`radio`] — the indoor WiFi propagation simulator;
+//! * [`dataset`] — long-term fingerprint datasets and evaluation suites;
+//! * [`core`](mod@core) — the STONE Siamese-encoder framework itself;
+//! * [`baselines`] — KNN (LearnLoc), LT-KNN, GIFT and SCNN comparators;
+//! * [`eval`] — the experiment runner and report rendering.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use stone as core;
+pub use stone_baselines as baselines;
+pub use stone_dataset as dataset;
+pub use stone_eval as eval;
+pub use stone_nn as nn;
+pub use stone_radio as radio;
+pub use stone_tensor as tensor;
+
+/// Commonly used items, suitable for glob import in examples.
+pub mod prelude {
+    pub use stone::{StoneBuilder, StoneConfig, StoneLocalizer};
+    pub use stone_dataset::{
+        Fingerprint, FingerprintDataset, Framework, Localizer, LongTermSuite, SuiteConfig,
+        SuiteKind,
+    };
+    pub use stone_eval::{Experiment, ExperimentReport};
+    pub use stone_radio::Point2;
+}

@@ -1,0 +1,64 @@
+//! Reproducibility: identical seeds must reproduce experiments bit-for-bit
+//! across the whole stack (simulator → dataset → training → evaluation).
+
+use stone::{StoneBuilder, StoneConfig, TrainerConfig};
+use stone_baselines::KnnBuilder;
+use stone_dataset::{basement_suite, office_suite, Framework, SuiteConfig};
+use stone_eval::Experiment;
+
+fn tiny_stone() -> StoneBuilder {
+    StoneBuilder::from_config(StoneConfig {
+        trainer: TrainerConfig {
+            embed_dim: 3,
+            epochs: 2,
+            triplets_per_epoch: 32,
+            batch_size: 16,
+            ..TrainerConfig::quick()
+        },
+        ..StoneConfig::quick()
+    })
+}
+
+#[test]
+fn same_seed_same_report() {
+    let run = || {
+        let suite = office_suite(&SuiteConfig::tiny(77));
+        let stone = tiny_stone();
+        let knn = KnnBuilder::default();
+        let frameworks: Vec<&dyn Framework> = vec![&stone, &knn];
+        Experiment::new(77).run(&suite, &frameworks)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "two identical runs diverged");
+}
+
+#[test]
+fn different_seed_different_numbers() {
+    let run = |seed: u64| {
+        let suite = office_suite(&SuiteConfig::tiny(seed));
+        let knn = KnnBuilder::default();
+        let frameworks: Vec<&dyn Framework> = vec![&knn];
+        Experiment::new(seed).run(&suite, &frameworks)
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(
+        a.series[0].mean_errors_m, b.series[0].mean_errors_m,
+        "different seeds produced identical error series"
+    );
+}
+
+#[test]
+fn suites_differ_across_venues() {
+    let office = office_suite(&SuiteConfig::tiny(9));
+    let basement = basement_suite(&SuiteConfig::tiny(9));
+    assert_ne!(office.train.ap_count(), 0);
+    assert_ne!(
+        office.train.records()[0].rssi,
+        basement.train.records()[0].rssi,
+        "office and basement generated identical fingerprints"
+    );
+    // Path lengths differ (48 vs 61 RPs before striding).
+    assert!(basement.train.rps().len() >= office.train.rps().len());
+}
