@@ -92,8 +92,7 @@ impl GiftLocalizer {
         for (i, r) in train.records().iter().enumerate() {
             by_rp[train.rp_index(r.rp).expect("registered RP")].push(i);
         }
-        let occupied: Vec<usize> =
-            (0..rps.len()).filter(|&i| !by_rp[i].is_empty()).collect();
+        let occupied: Vec<usize> = (0..rps.len()).filter(|&i| !by_rp[i].is_empty()).collect();
         assert!(occupied.len() >= 2, "GIFT needs records at >= 2 RPs");
 
         let mut entries = Vec::new();
@@ -231,10 +230,7 @@ mod tests {
         // Appearing / disappearing APs are strong trends.
         assert_eq!(quantized_gradient(&[MISSING_RSSI_DBM], &[-70.0], eps), vec![1]);
         assert_eq!(quantized_gradient(&[-70.0], &[MISSING_RSSI_DBM], eps), vec![-1]);
-        assert_eq!(
-            quantized_gradient(&[MISSING_RSSI_DBM], &[MISSING_RSSI_DBM], eps),
-            vec![0]
-        );
+        assert_eq!(quantized_gradient(&[MISSING_RSSI_DBM], &[MISSING_RSSI_DBM], eps), vec![0]);
     }
 
     #[test]
@@ -262,12 +258,9 @@ mod tests {
         assert_eq!(preds.len(), traj.len());
         // Start is seeded with ground truth.
         assert!(preds[0].distance(traj.fingerprints[0].pos) < 1e-9);
-        let mean: f64 = preds
-            .iter()
-            .zip(&traj.fingerprints)
-            .map(|(p, f)| p.distance(f.pos))
-            .sum::<f64>()
-            / preds.len() as f64;
+        let mean: f64 =
+            preds.iter().zip(&traj.fingerprints).map(|(p, f)| p.distance(f.pos)).sum::<f64>()
+                / preds.len() as f64;
         // Tiny suite has 6 m RP pitch; same-instance tracking should stay in
         // the right half of the building at least.
         assert!(mean < 20.0, "CI0 tracking error {mean:.2} m");

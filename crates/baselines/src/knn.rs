@@ -149,12 +149,9 @@ mod tests {
         let mut loc = fw.fit(&suite.train, 0);
         let traj = &suite.buckets[0].trajectories[0];
         let preds = loc.locate_trajectory(traj);
-        let mean: f64 = preds
-            .iter()
-            .zip(&traj.fingerprints)
-            .map(|(p, f)| p.distance(f.pos))
-            .sum::<f64>()
-            / preds.len() as f64;
+        let mean: f64 =
+            preds.iter().zip(&traj.fingerprints).map(|(p, f)| p.distance(f.pos)).sum::<f64>()
+                / preds.len() as f64;
         assert!(mean < 6.0, "CI0 mean error {mean:.2} m");
     }
 

@@ -96,8 +96,7 @@ impl LtKnnLocalizer {
             labels.push(r.rp);
             positions.push(train.rp_position(r.rp).expect("record RP registered"));
         }
-        let trained_visible = train
-            .ap_visibility();
+        let trained_visible = train.ap_visibility();
         Self {
             k,
             lambda,
@@ -176,11 +175,7 @@ impl LtKnnLocalizer {
     /// Fits one ridge regression predicting `target_ap` from `features`
     /// over the pristine offline map. Returns `None` when the system is
     /// degenerate.
-    fn fit_imputer(
-        &self,
-        target_ap: usize,
-        features: &[usize],
-    ) -> Option<(Vec<f32>, f32)> {
+    fn fit_imputer(&self, target_ap: usize, features: &[usize]) -> Option<(Vec<f32>, f32)> {
         let m = self.offline_map.len();
         let p = features.len();
         if m == 0 || p == 0 {
@@ -230,12 +225,10 @@ impl Localizer for LtKnnLocalizer {
                 }
             }
         }
-        let removed: Vec<usize> = (0..ap_count)
-            .filter(|&i| self.trained_visible[i] && !alive[i])
-            .collect();
-        let features: Vec<usize> = (0..ap_count)
-            .filter(|&i| self.trained_visible[i] && alive[i])
-            .collect();
+        let removed: Vec<usize> =
+            (0..ap_count).filter(|&i| self.trained_visible[i] && !alive[i]).collect();
+        let features: Vec<usize> =
+            (0..ap_count).filter(|&i| self.trained_visible[i] && alive[i]).collect();
 
         // 2. Re-fit the per-AP imputation regressions.
         self.imputers.clear();
@@ -269,8 +262,7 @@ impl Localizer for LtKnnLocalizer {
             let mut matched: Vec<(usize, f32, Vec<f32>)> = scans
                 .iter()
                 .map(|s| {
-                    let mut q: Vec<f32> =
-                        s.iter().map(|&v| ImageCodec::normalize(v)).collect();
+                    let mut q: Vec<f32> = s.iter().map(|&v| ImageCodec::normalize(v)).collect();
                     self.impute(&mut q);
                     let (best, dist) = self.k_nearest(&q)[0];
                     (best, dist, q)
@@ -332,11 +324,7 @@ mod tests {
         let eval = |loc: &mut dyn Localizer| -> f64 {
             let traj = &bucket.trajectories[0];
             let preds = loc.locate_trajectory(traj);
-            preds
-                .iter()
-                .zip(&traj.fingerprints)
-                .map(|(p, f)| p.distance(f.pos))
-                .sum::<f64>()
+            preds.iter().zip(&traj.fingerprints).map(|(p, f)| p.distance(f.pos)).sum::<f64>()
                 / preds.len() as f64
         };
         let mut plain = LtKnnLocalizer::fit(&suite.train, 3, 1e-2, 0.0);

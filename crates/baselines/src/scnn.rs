@@ -119,8 +119,7 @@ impl ScnnLocalizer {
             Box::new(Dense::new(cfg.fc_units, n_classes, &mut rng)),
         ]);
 
-        let images: Vec<Vec<f32>> =
-            train.records().iter().map(|r| codec.encode(&r.rssi)).collect();
+        let images: Vec<Vec<f32>> = train.records().iter().map(|r| codec.encode(&r.rssi)).collect();
         let labels: Vec<usize> = train
             .records()
             .iter()
@@ -133,8 +132,7 @@ impl ScnnLocalizer {
         for _ in 0..cfg.epochs {
             order.shuffle(&mut rng);
             for chunk in order.chunks(cfg.batch_size) {
-                let batch_imgs: Vec<Vec<f32>> =
-                    chunk.iter().map(|&i| images[i].clone()).collect();
+                let batch_imgs: Vec<Vec<f32>> = chunk.iter().map(|&i| images[i].clone()).collect();
                 let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
                 let x = codec.batch_to_tensor(&batch_imgs);
                 let (logits, caches) = net.forward_train(&x, &mut rng);

@@ -44,8 +44,8 @@ fn main() {
     for name in ["KNN", "SCNN"] {
         if let Some(s) = report.series_for(name) {
             let pre: f64 = s.mean_errors_m[..10].iter().sum::<f64>() / 10.0;
-            let post: f64 = s.mean_errors_m[10..].iter().sum::<f64>()
-                / (s.mean_errors_m.len() - 10) as f64;
+            let post: f64 =
+                s.mean_errors_m[10..].iter().sum::<f64>() / (s.mean_errors_m.len() - 10) as f64;
             println!(
                 "{name}: pre-removal (M1-10) {pre:.2} m -> post-removal (M11-15) {post:.2} m \
                  (paper: severe degradation at month 11)"

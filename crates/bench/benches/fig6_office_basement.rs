@@ -16,17 +16,13 @@ fn main() {
     banner("Fig. 6", "Basement & Office paths, CI 0-15, five frameworks");
     let cfg = suite_config();
 
-    for (tag, suite) in [
-        ("(a) Basement", basement_suite(&cfg)),
-        ("(b) Office", office_suite(&cfg)),
-    ] {
+    for (tag, suite) in [("(a) Basement", basement_suite(&cfg)), ("(b) Office", office_suite(&cfg))]
+    {
         let t0 = std::time::Instant::now();
         let report = run_comparison(&suite);
         println!("\nFig. 6 {tag} — elapsed {:.1}s", t0.elapsed().as_secs_f64());
         println!("{}", report.render_table());
-        if let (Some(stone), Some(lt)) =
-            (report.series_for("STONE"), report.series_for("LT-KNN"))
-        {
+        if let (Some(stone), Some(lt)) = (report.series_for("STONE"), report.series_for("LT-KNN")) {
             println!(
                 "STONE vs LT-KNN: mean improvement {:+.2} m, best bucket {:+.1}%  \
                  (paper: ~0.15 m Basement / ~0.25 m Office, up to 40%)",

@@ -1,9 +1,7 @@
 //! The convolutional Siamese encoder architecture (Sec. IV.D, Fig. 1).
 
 use rand::rngs::StdRng;
-use stone_nn::{
-    Conv2d, Dense, Dropout, Flatten, GaussianNoise, L2Normalize, Relu, Sequential,
-};
+use stone_nn::{Conv2d, Dense, Dropout, Flatten, GaussianNoise, L2Normalize, Relu, Sequential};
 
 /// Architecture hyperparameters of the STONE encoder.
 ///
@@ -149,7 +147,8 @@ mod tests {
         let net = build_encoder(&cfg, &mut rng);
         // conv1: 64*(1*2*2)+64; conv2: 128*(64*2*2)+128; fc: 6272*100+100;
         // embed: 100*8+8.
-        let expected = 64 * 4 + 64 + 128 * 256 + 128 + cfg.flat_features() * 100 + 100 + 100 * 8 + 8;
+        let expected =
+            64 * 4 + 64 + 128 * 256 + 128 + cfg.flat_features() * 100 + 100 + 100 * 8 + 8;
         assert_eq!(net.param_count(), expected);
     }
 }

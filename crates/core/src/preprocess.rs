@@ -62,7 +62,8 @@ impl ImageCodec {
     /// Normalizes one RSSI value from `[-100, 0]` dBm to `[0, 1]`.
     #[must_use]
     pub fn normalize(rssi_dbm: f32) -> f32 {
-        ((rssi_dbm.clamp(MISSING_RSSI_DBM, 0.0) - MISSING_RSSI_DBM) / -MISSING_RSSI_DBM).clamp(0.0, 1.0)
+        ((rssi_dbm.clamp(MISSING_RSSI_DBM, 0.0) - MISSING_RSSI_DBM) / -MISSING_RSSI_DBM)
+            .clamp(0.0, 1.0)
     }
 
     /// Encodes one raw fingerprint into a normalized, padded image buffer of

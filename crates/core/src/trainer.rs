@@ -211,8 +211,7 @@ impl SiameseTrainer {
         let mut opt = Adam::with_lr(self.cfg.learning_rate);
 
         // Pre-encode every training record once; augmentation copies these.
-        let images: Vec<Vec<f32>> =
-            ds.records().iter().map(|r| codec.encode(&r.rssi)).collect();
+        let images: Vec<Vec<f32>> = ds.records().iter().map(|r| codec.encode(&r.rssi)).collect();
 
         let steps = self.cfg.triplets_per_epoch / self.cfg.batch_size;
         let mut history = Vec::with_capacity(self.cfg.epochs);

@@ -287,8 +287,7 @@ impl RssiHardSelector {
             .collect();
         let ranking = (0..centroids.len())
             .map(|i| {
-                let mut others: Vec<usize> =
-                    (0..centroids.len()).filter(|&j| j != i).collect();
+                let mut others: Vec<usize> = (0..centroids.len()).filter(|&j| j != i).collect();
                 others.sort_by(|&a, &b| {
                     let da: f32 = centroids[i]
                         .iter()
@@ -431,7 +430,7 @@ mod tests {
         let index = TrainIndex::new(&ds);
         let sel = UniformSelector;
         let mut rng = StdRng::seed_from_u64(2);
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for _ in 0..500 {
             seen[sel.select_negative_rp(&index, 2, &mut rng)] = true;
         }
@@ -497,10 +496,7 @@ mod tests {
         let sel = FloorplanAwareSelector::default();
         let mut rng = StdRng::seed_from_u64(6);
         let t = sel.select(&index, &mut rng);
-        assert_ne!(
-            suite.train.records()[t.anchor].rp,
-            suite.train.records()[t.negative].rp
-        );
+        assert_ne!(suite.train.records()[t.anchor].rp, suite.train.records()[t.negative].rp);
     }
 
     #[test]

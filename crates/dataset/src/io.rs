@@ -51,7 +51,15 @@ pub fn to_csv(ds: &FingerprintDataset) -> String {
         for v in &r.rssi {
             let _ = write!(out, "{v},");
         }
-        let _ = writeln!(out, "{},{:.4},{:.4},{:.4},{}", r.rp.0, r.pos.x, r.pos.y, r.time.hours(), r.ci);
+        let _ = writeln!(
+            out,
+            "{},{:.4},{:.4},{:.4},{}",
+            r.rp.0,
+            r.pos.x,
+            r.pos.y,
+            r.time.hours(),
+            r.ci
+        );
     }
     out
 }
@@ -89,18 +97,12 @@ pub fn from_csv(name: &str, text: &str) -> Result<FingerprintDataset, CsvError> 
         for f in &fields[..ap_count] {
             rssi.push(parse_f(f)? as f32);
         }
-        let rp = RpId(
-            fields[ap_count]
-                .trim()
-                .parse::<u32>()
-                .map_err(|_| CsvError::BadRow { row })?,
-        );
+        let rp =
+            RpId(fields[ap_count].trim().parse::<u32>().map_err(|_| CsvError::BadRow { row })?);
         let pos = Point2::new(parse_f(fields[ap_count + 1])?, parse_f(fields[ap_count + 2])?);
         let time = SimTime::from_hours(parse_f(fields[ap_count + 3])?);
-        let ci = fields[ap_count + 4]
-            .trim()
-            .parse::<usize>()
-            .map_err(|_| CsvError::BadRow { row })?;
+        let ci =
+            fields[ap_count + 4].trim().parse::<usize>().map_err(|_| CsvError::BadRow { row })?;
         if !rps.iter().any(|r| r.id == rp) {
             rps.push(ReferencePoint { id: rp, pos });
         }

@@ -107,10 +107,7 @@ impl Trajectory {
     /// Total ground-truth path length, in meters.
     #[must_use]
     pub fn path_length_m(&self) -> f64 {
-        self.fingerprints
-            .windows(2)
-            .map(|w| w[0].pos.distance(w[1].pos))
-            .sum()
+        self.fingerprints.windows(2).map(|w| w[0].pos.distance(w[1].pos)).sum()
     }
 }
 
@@ -119,13 +116,7 @@ mod tests {
     use super::*;
 
     fn fp(rssi: Vec<f32>, x: f64) -> Fingerprint {
-        Fingerprint {
-            rssi,
-            rp: RpId(0),
-            pos: Point2::new(x, 0.0),
-            time: SimTime::start(),
-            ci: 0,
-        }
+        Fingerprint { rssi, rp: RpId(0), pos: Point2::new(x, 0.0), time: SimTime::start(), ci: 0 }
     }
 
     #[test]

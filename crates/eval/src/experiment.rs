@@ -94,11 +94,7 @@ impl Experiment {
                 requires_retraining: loc.requires_retraining(),
             });
         }
-        ExperimentReport {
-            suite: suite.name.clone(),
-            bucket_labels: suite.bucket_labels(),
-            series,
-        }
+        ExperimentReport { suite: suite.name.clone(), bucket_labels: suite.bucket_labels(), series }
     }
 }
 

@@ -66,18 +66,8 @@ impl Heatmap {
     /// value, darker = larger error.
     #[must_use]
     pub fn render(&self) -> String {
-        let lo = self
-            .values
-            .iter()
-            .flatten()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
-        let hi = self
-            .values
-            .iter()
-            .flatten()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let lo = self.values.iter().flatten().copied().fold(f64::INFINITY, f64::min);
+        let hi = self.values.iter().flatten().copied().fold(f64::NEG_INFINITY, f64::max);
         let row_w = self.row_labels.iter().map(String::len).max().unwrap_or(4).max(4);
         let mut out = String::new();
         let _ = writeln!(out, "{}", self.title);
@@ -152,11 +142,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "column count mismatch")]
     fn rejects_ragged_grid() {
-        let _ = Heatmap::new(
-            "bad",
-            vec!["a".into()],
-            vec!["x".into(), "y".into()],
-            vec![vec![1.0]],
-        );
+        let _ =
+            Heatmap::new("bad", vec!["a".into()], vec!["x".into(), "y".into()], vec![vec![1.0]]);
     }
 }

@@ -18,7 +18,12 @@ pub fn he_normal(shape: Vec<usize>, fan_in: usize, rng: &mut StdRng) -> Tensor {
 ///
 /// Suited to linear/embedding output layers.
 #[must_use]
-pub fn xavier_uniform(shape: Vec<usize>, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+pub fn xavier_uniform(
+    shape: Vec<usize>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut StdRng,
+) -> Tensor {
     let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
     trng::uniform_tensor(rng, shape, -a, a)
 }
@@ -33,7 +38,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let t = he_normal(vec![10_000], 50, &mut rng);
         let mean = t.as_slice().iter().sum::<f32>() / t.len() as f32;
-        let var = t.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var =
+            t.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var - 2.0 / 50.0).abs() < 0.005, "var {var}");
     }

@@ -1,9 +1,7 @@
 //! 2-D convolution over NCHW batches via im2col lowering.
 
 use rand::rngs::StdRng;
-use stone_tensor::{
-    col2im, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry, Tensor,
-};
+use stone_tensor::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry, Tensor};
 
 use crate::layer::{Cache, Layer, Mode};
 
@@ -76,8 +74,15 @@ impl Conv2d {
             self.in_channels,
             x.shape()[1]
         );
-        Conv2dGeometry::new(self.in_channels, x.shape()[2], x.shape()[3], self.kernel, self.kernel, self.stride)
-            .expect("convolution geometry must be valid for the given input")
+        Conv2dGeometry::new(
+            self.in_channels,
+            x.shape()[2],
+            x.shape()[3],
+            self.kernel,
+            self.kernel,
+            self.stride,
+        )
+        .expect("convolution geometry must be valid for the given input")
     }
 }
 

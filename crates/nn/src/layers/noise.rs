@@ -90,7 +90,8 @@ mod tests {
         let x = Tensor::zeros(vec![50_000]);
         let (y, _) = n.forward(&x, Mode::Train, &mut rng);
         let mean = y.as_slice().iter().sum::<f32>() / y.len() as f32;
-        let var = y.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / y.len() as f32;
+        let var =
+            y.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / y.len() as f32;
         assert!(mean.abs() < 0.005, "mean {mean}");
         assert!((var.sqrt() - 0.1).abs() < 0.01, "std {}", var.sqrt());
     }

@@ -33,9 +33,7 @@ impl Layer for Flatten {
     }
 
     fn backward(&self, cache: &Cache, grad_out: &Tensor) -> (Tensor, Vec<Tensor>) {
-        let gx = grad_out
-            .reshape(cache.shape.clone())
-            .expect("unflatten preserves element count");
+        let gx = grad_out.reshape(cache.shape.clone()).expect("unflatten preserves element count");
         (gx, Vec::new())
     }
 

@@ -62,8 +62,8 @@ pub use init::{he_normal, xavier_uniform};
 pub use io::{load_weights, save_weights, WeightIoError};
 pub use layer::{Cache, Layer, Mode};
 pub use layers::{
-    Conv2d, Dense, Dropout, Flatten, GaussianNoise, L2Normalize, LeakyRelu, Relu, Sigmoid,
-    Softmax, Tanh,
+    Conv2d, Dense, Dropout, Flatten, GaussianNoise, L2Normalize, LeakyRelu, Relu, Sigmoid, Softmax,
+    Tanh,
 };
 pub use loss::{
     ContrastiveLoss, CrossEntropyLoss, MseLoss, TripletGrads, TripletLoss, TripletStats,

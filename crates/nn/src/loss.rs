@@ -74,7 +74,12 @@ impl TripletLoss {
     /// # Panics
     ///
     /// Panics when the three batches do not share the same shape.
-    pub fn loss(&self, anchor: &Tensor, positive: &Tensor, negative: &Tensor) -> (TripletStats, TripletGrads) {
+    pub fn loss(
+        &self,
+        anchor: &Tensor,
+        positive: &Tensor,
+        negative: &Tensor,
+    ) -> (TripletStats, TripletGrads) {
         assert_eq!(anchor.shape(), positive.shape(), "anchor/positive shape mismatch");
         assert_eq!(anchor.shape(), negative.shape(), "anchor/negative shape mismatch");
         let (b, d) = (anchor.rows(), anchor.cols());
@@ -152,11 +157,10 @@ impl ContrastiveLoss {
         let mut gl = Tensor::zeros(vec![b, d]);
         let mut gr = Tensor::zeros(vec![b, d]);
         let mut total = 0.0;
-        for i in 0..b {
+        for (i, &is_same) in same.iter().enumerate() {
             let (lr, rr) = (left.row(i), right.row(i));
-            let dist: f32 =
-                lr.iter().zip(rr).map(|(&x, &y)| (x - y) * (x - y)).sum::<f32>().sqrt();
-            if same[i] {
+            let dist: f32 = lr.iter().zip(rr).map(|(&x, &y)| (x - y) * (x - y)).sum::<f32>().sqrt();
+            if is_same {
                 total += dist * dist;
                 for j in 0..d {
                     let diff = lr[j] - rr[j];
@@ -207,8 +211,7 @@ impl CrossEntropyLoss {
         let inv_b = 1.0 / b as f32;
         let mut grad = probs.clone();
         let mut total = 0.0;
-        for i in 0..b {
-            let y = labels[i];
+        for (i, &y) in labels.iter().enumerate() {
             assert!(y < k, "label {y} out of range for {k} classes");
             total -= probs.at2(i, y).max(1e-12).ln();
             let g = grad.row_mut(i);
@@ -229,9 +232,7 @@ impl CrossEntropyLoss {
     pub fn accuracy(&self, logits: &Tensor, labels: &[usize]) -> f32 {
         let b = logits.rows();
         assert_eq!(labels.len(), b, "label count mismatch");
-        let correct = (0..b)
-            .filter(|&i| stone_tensor::argmax(logits.row(i)) == labels[i])
-            .count();
+        let correct = (0..b).filter(|&i| stone_tensor::argmax(logits.row(i)) == labels[i]).count();
         correct as f32 / b as f32
     }
 }
@@ -360,8 +361,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_matches() {
-        let logits =
-            Tensor::from_vec(vec![2, 2], vec![2., 1., 0., 3.]).unwrap();
+        let logits = Tensor::from_vec(vec![2, 2], vec![2., 1., 0., 3.]).unwrap();
         let acc = CrossEntropyLoss::new().accuracy(&logits, &[0, 1]);
         assert_eq!(acc, 1.0);
         let acc = CrossEntropyLoss::new().accuracy(&logits, &[1, 1]);

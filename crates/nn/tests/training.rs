@@ -140,9 +140,8 @@ fn triplet_training_separates_two_clusters() {
 
     // Evaluate separation on fresh samples.
     let mut rng2 = StdRng::seed_from_u64(99);
-    let embed = |v: Vec<f32>, net: &Sequential| {
-        net.predict(&Tensor::from_vec(vec![1, 4], v).unwrap())
-    };
+    let embed =
+        |v: Vec<f32>, net: &Sequential| net.predict(&Tensor::from_vec(vec![1, 4], v).unwrap());
     let mut same = 0.0;
     let mut diff = 0.0;
     let trials = 20;

@@ -146,7 +146,13 @@ impl RadioEnvironment {
         rssi -= self.propagation.path_loss_db(d);
         rssi -= self.floorplan.wall_loss_db(apparent, pos);
         rssi += self.propagation.shadow_db
-            * value_noise_2d(self.seed, salt, pos.x - wx, pos.y - wy, self.propagation.shadow_cell_m);
+            * value_noise_2d(
+                self.seed,
+                salt,
+                pos.x - wx,
+                pos.y - wy,
+                self.propagation.shadow_cell_m,
+            );
         rssi += TemporalModel::hardware_offset_db(self.seed, salt);
         rssi += self.temporal.drift_offset_db(self.seed, salt, t);
         rssi += self.temporal.churn_offset_db(self.seed, salt, pos, t);
@@ -168,7 +174,13 @@ impl RadioEnvironment {
     /// Ids of APs visible (observed at least once) across `n_probes` scans
     /// at `pos`/`t` — used to annotate floorplans like the paper's Fig. 3.
     #[must_use]
-    pub fn visible_aps(&self, pos: Point2, t: SimTime, rng: &mut StdRng, n_probes: usize) -> Vec<ApId> {
+    pub fn visible_aps(
+        &self,
+        pos: Point2,
+        t: SimTime,
+        rng: &mut StdRng,
+        n_probes: usize,
+    ) -> Vec<ApId> {
         let mut seen = vec![false; self.aps.len()];
         for _ in 0..n_probes.max(1) {
             for (i, v) in self.scan(pos, t, rng).into_iter().enumerate() {
@@ -177,19 +189,15 @@ impl RadioEnvironment {
                 }
             }
         }
-        self.aps
-            .iter()
-            .zip(seen)
-            .filter_map(|(ap, s)| s.then_some(ap.id))
-            .collect()
+        self.aps.iter().zip(seen).filter_map(|(ap, s)| s.then_some(ap.id)).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::geom::{Rect, Segment};
     use crate::floorplan::Wall;
+    use crate::geom::{Rect, Segment};
     use rand::SeedableRng;
 
     fn quiet_env(seed: u64) -> RadioEnvironment {
@@ -235,8 +243,7 @@ mod tests {
         let with_wall = env.channel_rssi_dbm(1, Point2::new(18.0, 5.0), t, &mut rng).unwrap();
         // 16 m vs 20 m plus an 8 dB wall: difference must exceed the pure
         // distance effect by roughly the wall loss.
-        let pure_distance =
-            env.propagation.path_loss_db(20.0) - env.propagation.path_loss_db(16.0);
+        let pure_distance = env.propagation.path_loss_db(20.0) - env.propagation.path_loss_db(16.0);
         assert!(
             (no_wall - with_wall) > pure_distance + 7.0,
             "wall not applied: {no_wall} vs {with_wall}"
@@ -251,8 +258,10 @@ mod tests {
             ap: ApId(0),
             at: SimTime::from_months(2.0),
         }]));
-        let before = env.channel_rssi_dbm(0, Point2::new(4.0, 5.0), SimTime::from_months(1.0), &mut rng);
-        let after = env.channel_rssi_dbm(0, Point2::new(4.0, 5.0), SimTime::from_months(3.0), &mut rng);
+        let before =
+            env.channel_rssi_dbm(0, Point2::new(4.0, 5.0), SimTime::from_months(1.0), &mut rng);
+        let after =
+            env.channel_rssi_dbm(0, Point2::new(4.0, 5.0), SimTime::from_months(3.0), &mut rng);
         assert!(before.is_some());
         assert!(after.is_none());
     }

@@ -84,11 +84,7 @@ impl Floorplan {
     #[must_use]
     pub fn wall_loss_db(&self, tx: Point2, rx: Point2) -> f64 {
         let los = Segment::new(tx, rx);
-        self.walls
-            .iter()
-            .filter(|w| w.segment.intersects(&los))
-            .map(|w| w.attenuation_db)
-            .sum()
+        self.walls.iter().filter(|w| w.segment.intersects(&los)).map(|w| w.attenuation_db).sum()
     }
 
     /// Number of walls crossed by the line-of-sight from `tx` to `rx`.

@@ -103,11 +103,7 @@ impl ApSchedule {
         let k = (aps.len() as f64 * fraction).round() as usize;
         let mut pool: Vec<ApId> = aps.to_vec();
         pool.shuffle(rng);
-        let events = pool
-            .into_iter()
-            .take(k)
-            .map(|ap| ApEvent::Removed { ap, at })
-            .collect();
+        let events = pool.into_iter().take(k).map(|ap| ApEvent::Removed { ap, at }).collect();
         Self { events }
     }
 
@@ -152,9 +148,9 @@ impl ApSchedule {
     /// removed).
     #[must_use]
     pub fn is_active(&self, ap: ApId, t: SimTime) -> bool {
-        !self.events.iter().any(|e| {
-            matches!(e, ApEvent::Removed { ap: a, at } if *a == ap && at.hours() <= t.hours())
-        })
+        !self.events.iter().any(
+            |e| matches!(e, ApEvent::Removed { ap: a, at } if *a == ap && at.hours() <= t.hours()),
+        )
     }
 
     /// Effective (salt, tx-power delta) of the AP at time `t`, accounting

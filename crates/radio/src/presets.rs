@@ -97,10 +97,7 @@ pub fn uji_hall_environment(seed: u64) -> RadioEnvironment {
     let mut walls = Vec::new();
     for k in 0..3 {
         let y = 7.0 + k as f64 * 8.0;
-        walls.push(Wall::new(
-            Segment::new(Point2::new(6.0, y), Point2::new(30.0, y)),
-            1.5,
-        ));
+        walls.push(Wall::new(Segment::new(Point2::new(6.0, y), Point2::new(30.0, y)), 1.5));
     }
     let plan = Floorplan::new("uji-hall", bounds, walls);
     let aps = place_aps(bounds, 96, &mut rng);
@@ -237,9 +234,7 @@ mod tests {
         let sample_var = |env: &RadioEnvironment, pos: Point2| {
             let mut rng = StdRng::seed_from_u64(4);
             let idx = (0..env.ap_count())
-                .find(|&i| {
-                    env.channel_rssi_dbm(i, pos, SimTime::start(), &mut rng).is_some()
-                })
+                .find(|&i| env.channel_rssi_dbm(i, pos, SimTime::start(), &mut rng).is_some())
                 .unwrap();
             let xs: Vec<f64> = (0..200)
                 .filter_map(|_| env.channel_rssi_dbm(idx, pos, SimTime::start(), &mut rng))

@@ -38,7 +38,7 @@ pub fn render_floorplan_ascii(
     let sy = (rows - 1) as f64 / b.height().max(1e-9);
 
     let mut grid = vec![vec![' '; cols]; rows];
-    let mut put = |p: Point2, ch: char, grid: &mut Vec<Vec<char>>| {
+    let put = |p: Point2, ch: char, grid: &mut Vec<Vec<char>>| {
         let c = ((p.x - b.min.x) * sx).round() as isize;
         let r = ((p.y - b.min.y) * sy).round() as isize;
         if r >= 0 && (r as usize) < rows && c >= 0 && (c as usize) < cols {

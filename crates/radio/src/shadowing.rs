@@ -20,7 +20,11 @@ pub fn splitmix64(mut z: u64) -> u64 {
 /// Uniform value in `[-1, 1]` derived from a seed and lattice coordinates.
 #[must_use]
 pub fn lattice_value(seed: u64, salt: u64, ix: i64, iy: i64) -> f64 {
-    let h = splitmix64(seed ^ salt.rotate_left(17) ^ (ix as u64).wrapping_mul(0x8530_9B5B_4F2B_2511) ^ (iy as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    let h = splitmix64(
+        seed ^ salt.rotate_left(17)
+            ^ (ix as u64).wrapping_mul(0x8530_9B5B_4F2B_2511)
+            ^ (iy as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F),
+    );
     // Map the top 53 bits to [0, 1), then to [-1, 1].
     (h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
 }

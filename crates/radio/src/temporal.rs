@@ -181,8 +181,7 @@ impl TemporalModel {
             return 0.0;
         }
         let sensitivity = 0.3
-            + 0.7 * ((splitmix64(seed ^ ap_salt ^ 0xD1A1_0C01) >> 11) as f64
-                / (1u64 << 53) as f64);
+            + 0.7 * ((splitmix64(seed ^ ap_salt ^ 0xD1A1_0C01) >> 11) as f64 / (1u64 << 53) as f64);
         self.diurnal_db * sensitivity * Self::activity_factor(t.hour_of_day())
     }
 
@@ -300,10 +299,7 @@ mod tests {
     #[test]
     fn quiet_model_has_no_churn() {
         let m = TemporalModel::quiet();
-        assert_eq!(
-            m.churn_offset_db(1, 2, Point2::new(3.0, 3.0), SimTime::from_months(2.0)),
-            0.0
-        );
+        assert_eq!(m.churn_offset_db(1, 2, Point2::new(3.0, 3.0), SimTime::from_months(2.0)), 0.0);
     }
 
     #[test]

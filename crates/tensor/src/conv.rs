@@ -202,7 +202,8 @@ mod tests {
     fn conv_via_im2col_matches_direct() {
         // Direct convolution vs im2col+matmul for random-ish data.
         let g = Conv2dGeometry::new(2, 4, 5, 2, 3, 1).unwrap();
-        let x: Vec<f32> = (0..g.channels * g.in_h * g.in_w).map(|i| (i as f32 * 0.37).sin()).collect();
+        let x: Vec<f32> =
+            (0..g.channels * g.in_h * g.in_w).map(|i| (i as f32 * 0.37).sin()).collect();
         let w: Vec<f32> = (0..g.col_rows()).map(|i| (i as f32 * 0.11).cos()).collect();
 
         let cols = im2col(&x, &g);
@@ -231,7 +232,8 @@ mod tests {
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), y> == <x, col2im(y)> for all x, y (adjoint property).
         let g = Conv2dGeometry::new(2, 5, 4, 2, 2, 1).unwrap();
-        let x: Vec<f32> = (0..g.channels * g.in_h * g.in_w).map(|i| (i as f32 * 0.7).sin()).collect();
+        let x: Vec<f32> =
+            (0..g.channels * g.in_h * g.in_w).map(|i| (i as f32 * 0.7).sin()).collect();
         let ydata: Vec<f32> =
             (0..g.col_rows() * g.col_cols()).map(|i| (i as f32 * 0.3).cos()).collect();
         let y = Tensor::from_vec(vec![g.col_rows(), g.col_cols()], ydata).unwrap();

@@ -32,16 +32,13 @@ pub fn solve(a: &Tensor, b: &[f32]) -> Result<Vec<f32>> {
     }
     let n = a.shape()[0];
     if a.shape()[1] != n || b.len() != n {
-        return Err(TensorError::ShapeMismatch {
-            left: a.shape().to_vec(),
-            right: vec![b.len()],
-        });
+        return Err(TensorError::ShapeMismatch { left: a.shape().to_vec(), right: vec![b.len()] });
     }
     // Augmented matrix in f64 for stability of the elimination.
     let mut m: Vec<f64> = Vec::with_capacity(n * (n + 1));
-    for i in 0..n {
+    for (i, &rhs) in b.iter().enumerate() {
         m.extend(a.row(i).iter().map(|&v| v as f64));
-        m.push(b[i] as f64);
+        m.push(rhs as f64);
     }
     let w = n + 1;
 
@@ -114,10 +111,7 @@ pub fn ridge_regression(x: &Tensor, y: &[f32], lambda: f32) -> Result<Vec<f32>> 
     }
     let (m, p) = (x.rows(), x.cols());
     if y.len() != m {
-        return Err(TensorError::ShapeMismatch {
-            left: x.shape().to_vec(),
-            right: vec![y.len()],
-        });
+        return Err(TensorError::ShapeMismatch { left: x.shape().to_vec(), right: vec![y.len()] });
     }
     // Normal equations: (XᵀX + λI) w = Xᵀ y.
     let mut xtx = matmul_at_b(x, x);
@@ -126,10 +120,10 @@ pub fn ridge_regression(x: &Tensor, y: &[f32], lambda: f32) -> Result<Vec<f32>> 
         xtx.set2(i, i, v);
     }
     let mut xty = vec![0.0f32; p];
-    for i in 0..m {
+    for (i, &yv) in y.iter().enumerate() {
         let row = x.row(i);
         for (j, &v) in row.iter().enumerate() {
-            xty[j] += v * y[i];
+            xty[j] += v * yv;
         }
     }
     solve(&xtx, &xty)

@@ -344,7 +344,8 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when rows have differing
     /// lengths, or [`TensorError::InvalidDimension`] when `rows` is empty.
     pub fn stack_rows(rows: &[&[f32]]) -> Result<Self> {
-        let first = rows.first().ok_or(TensorError::InvalidDimension { what: "empty row stack" })?;
+        let first =
+            rows.first().ok_or(TensorError::InvalidDimension { what: "empty row stack" })?;
         let cols = first.len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
@@ -366,7 +367,13 @@ impl fmt::Debug for Tensor {
         if self.len() <= 16 {
             write!(f, ", data={:?})", self.data)
         } else {
-            write!(f, ", data=[{:.4}, {:.4}, ...; {} elems])", self.data[0], self.data[1], self.len())
+            write!(
+                f,
+                ", data=[{:.4}, {:.4}, ...; {} elems])",
+                self.data[0],
+                self.data[1],
+                self.len()
+            )
         }
     }
 }

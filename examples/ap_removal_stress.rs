@@ -11,16 +11,13 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use stone_repro::prelude::*;
 use stone_dataset::{office_suite, MISSING_RSSI_DBM};
+use stone_repro::prelude::*;
 
 fn zero_out_aps(rssi: &[f32], fraction: f64, rng: &mut StdRng) -> Vec<f32> {
     let mut out = rssi.to_vec();
-    let mut visible: Vec<usize> = out
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &v)| (v > MISSING_RSSI_DBM).then_some(i))
-        .collect();
+    let mut visible: Vec<usize> =
+        out.iter().enumerate().filter_map(|(i, &v)| (v > MISSING_RSSI_DBM).then_some(i)).collect();
     visible.shuffle(rng);
     let k = (visible.len() as f64 * fraction).round() as usize;
     for &i in visible.iter().take(k) {
@@ -53,12 +50,7 @@ fn main() {
             err_without += without_aug.locate(&stressed).distance(fp.pos);
         }
         let n = fps.len() as f64;
-        println!(
-            "{:>9.0}% {:>16.2} {:>18.2}",
-            fraction * 100.0,
-            err_with / n,
-            err_without / n
-        );
+        println!("{:>9.0}% {:>16.2} {:>18.2}", fraction * 100.0, err_with / n, err_without / n);
     }
     println!(
         "\nThe augmented encoder should degrade gracefully — it has seen \

@@ -6,12 +6,12 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use stone_dataset::{Fingerprint as Fp, FingerprintDataset, ReferencePoint, RpId};
 use stone_repro::prelude::*;
 use stone_repro::radio::{
     AccessPoint, ApId, ApSchedule, DeviceModel, Floorplan, PropagationModel, RadioEnvironment,
     Rect, Segment, SimTime, TemporalModel, Wall,
 };
-use stone_dataset::{Fingerprint as Fp, FingerprintDataset, ReferencePoint, RpId};
 
 fn main() {
     // 1. An L-shaped lab: two 20 m wings joined at a corner, one thick
@@ -46,10 +46,7 @@ fn main() {
     // 3. Survey reference points every 3 m along both wings.
     let mut rps = Vec::new();
     for k in 0..8 {
-        rps.push(ReferencePoint {
-            id: RpId(k),
-            pos: Point2::new(1.5 + f64::from(k) * 3.0, 6.0),
-        });
+        rps.push(ReferencePoint { id: RpId(k), pos: Point2::new(1.5 + f64::from(k) * 3.0, 6.0) });
     }
     for k in 0..6 {
         rps.push(ReferencePoint {

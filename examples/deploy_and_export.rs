@@ -6,10 +6,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use stone_dataset::{io, office_suite};
 use stone_repro::core::{build_encoder, EncoderConfig, ImageCodec};
 use stone_repro::nn::{load_weights, save_weights};
 use stone_repro::prelude::*;
-use stone_dataset::{io, office_suite};
 
 fn main() {
     let suite = office_suite(&SuiteConfig::new(3));
@@ -40,7 +40,10 @@ fn main() {
     let codec = ImageCodec::new(suite.train.ap_count());
     let mut rng = StdRng::seed_from_u64(999); // arbitrary: weights get overwritten
     let mut device_net = build_encoder(
-        &EncoderConfig::paper(codec.side(), localizer.encoder().net().params().last().map_or(8, |p| p.shape()[0])),
+        &EncoderConfig::paper(
+            codec.side(),
+            localizer.encoder().net().params().last().map_or(8, |p| p.shape()[0]),
+        ),
         &mut rng,
     );
     load_weights(&mut device_net, &blob).expect("architecture matches");
@@ -48,9 +51,7 @@ fn main() {
     // Identical embeddings on both sides.
     let probe = &suite.train.records()[0].rssi;
     let host = localizer.embed(probe);
-    let device = device_net
-        .predict(&codec.encode_batch(&[probe.as_slice()]))
-        .into_vec();
+    let device = device_net.predict(&codec.encode_batch(&[probe.as_slice()])).into_vec();
     assert_eq!(host, device);
     println!("device-side embedding matches host-side embedding: OK");
 }

@@ -8,20 +8,14 @@
 //!
 //! Run with: `cargo run --release --example device_heterogeneity`
 
+use stone_dataset::{office_suite, MISSING_RSSI_DBM};
 use stone_repro::baselines::KnnBuilder;
 use stone_repro::prelude::*;
-use stone_dataset::{office_suite, MISSING_RSSI_DBM};
 
 /// Applies a chipset gain offset to every visible AP of a scan.
 fn with_offset(rssi: &[f32], offset_db: f32) -> Vec<f32> {
     rssi.iter()
-        .map(|&v| {
-            if v > MISSING_RSSI_DBM {
-                (v + offset_db).clamp(-100.0, 0.0)
-            } else {
-                v
-            }
-        })
+        .map(|&v| if v > MISSING_RSSI_DBM { (v + offset_db).clamp(-100.0, 0.0) } else { v })
         .collect()
 }
 
@@ -29,7 +23,7 @@ fn main() {
     let suite = office_suite(&SuiteConfig::new(17));
     println!("training STONE and KNN on the LG-V20 survey...");
     let stone = StoneBuilder::quick().fit(&suite.train, 17);
-    let mut knn = KnnBuilder::default().fit(&suite.train, 17);
+    let knn = KnnBuilder::default().fit(&suite.train, 17);
 
     // Same-instance walk, but captured by "another phone".
     let bucket = &suite.buckets[1];

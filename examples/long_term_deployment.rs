@@ -3,9 +3,9 @@
 //!
 //! Run with: `cargo run --release --example long_term_deployment`
 
+use stone_dataset::uji_suite;
 use stone_repro::baselines::LtKnnBuilder;
 use stone_repro::prelude::*;
-use stone_dataset::uji_suite;
 
 fn main() {
     let suite = uji_suite(&SuiteConfig::new(7));

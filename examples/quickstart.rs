@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use stone_repro::prelude::*;
 use stone_dataset::office_suite;
+use stone_repro::prelude::*;
 
 fn main() {
     // 1. Build a long-term evaluation suite: a simulated 48 m office

@@ -1,0 +1,98 @@
+//! Value-generation strategies (sampling only — no shrinking).
+
+use crate::test_runner::TestRng;
+use rand::{Rng, SampleRange, Standard};
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random values of an associated type.
+///
+/// Unlike upstream proptest, a strategy here is just a sampler: it draws a
+/// fresh value per test case and performs no shrinking on failure.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`, mirroring
+    /// `proptest::strategy::Strategy::prop_map`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl<T: Copy> Strategy for Range<T>
+where
+    Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: Copy> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A strategy that always yields a clone of the given value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A strategy over the full domain of `T`, mirroring `proptest::arbitrary`.
+pub fn any<T: Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Clone, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen::<T>()
+    }
+}

@@ -1,0 +1,45 @@
+//! Test-runner configuration and the deterministic case RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-`proptest!` block configuration. Only the knobs the workspace uses
+/// exist; everything else from upstream is omitted.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` sampled inputs per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies. Deterministic: seeded from the test path
+/// and case number, so failures reproduce without a persistence file.
+pub type TestRng = StdRng;
+
+/// Builds the deterministic RNG for one test case.
+#[must_use]
+pub fn rng_for_case(test_path: &str, case: u32) -> TestRng {
+    StdRng::seed_from_u64(fnv1a(test_path) ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in s.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}

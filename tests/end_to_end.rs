@@ -84,10 +84,7 @@ fn stone_degradation_stays_bounded_on_tiny_suite() {
     let early: f64 = s.mean_errors_m[..3].iter().sum::<f64>() / 3.0;
     let late: f64 = s.mean_errors_m[12..].iter().sum::<f64>() / 4.0;
     assert!(late < 8.0, "STONE post-removal error {late:.2} m blew up");
-    assert!(
-        late - early < 6.0,
-        "STONE degraded catastrophically: {early:.2} -> {late:.2} m"
-    );
+    assert!(late - early < 6.0, "STONE degraded catastrophically: {early:.2} -> {late:.2} m");
 }
 
 #[test]

@@ -1,0 +1,74 @@
+//! Workspace smoke test: the facade's documented entry points exist and a
+//! miniature pipeline runs deterministically.
+
+use stone_repro::prelude::*;
+
+/// Every name the crate-level docs promise is importable through the
+/// prelude and usable without reaching into the member crates.
+#[test]
+fn prelude_reexports_resolve() {
+    // Types resolve and the builder API is reachable through the prelude.
+    let _config: StoneConfig = StoneConfig::quick();
+    let _builder: StoneBuilder = StoneBuilder::quick();
+    let suite_cfg: SuiteConfig = SuiteConfig::tiny(1);
+    let _kind: SuiteKind = SuiteKind::Office;
+    let origin: Point2 = Point2::new(0.0, 0.0);
+    assert_eq!(origin.distance(origin), 0.0);
+
+    // The facade's module aliases point at the member crates.
+    let eye = stone_repro::tensor::Tensor::eye(2);
+    assert_eq!(eye.as_slice(), &[1.0, 0.0, 0.0, 1.0]);
+    let suite: LongTermSuite = stone_repro::dataset::office_suite(&suite_cfg);
+    assert!(!suite.train.is_empty());
+}
+
+/// A tiny office suite trains and localizes end to end, twice, with
+/// identical results under a fixed seed — the workspace-level determinism
+/// contract. The trainer is shrunk far below `quick()` so the test stays
+/// fast in debug builds.
+#[test]
+fn tiny_office_suite_trains_and_localizes_deterministically() {
+    fn run() -> Vec<(f64, f64)> {
+        use stone_repro::core::{StoneConfig, TrainerConfig};
+        let suite = stone_repro::dataset::office_suite(&SuiteConfig::tiny(7));
+        let cfg = StoneConfig {
+            trainer: TrainerConfig {
+                embed_dim: 3,
+                epochs: 2,
+                triplets_per_epoch: 32,
+                batch_size: 16,
+                ..TrainerConfig::quick()
+            },
+            ..StoneConfig::quick()
+        };
+        let localizer: StoneLocalizer = StoneBuilder::from_config(cfg).fit(&suite.train, 7);
+        suite.buckets[..4]
+            .iter()
+            .map(|bucket| {
+                let fp = &bucket.trajectories[0].fingerprints[0];
+                let p = localizer.locate(&fp.rssi);
+                assert!(
+                    p.x.is_finite() && p.y.is_finite(),
+                    "predicted position must be finite, got {p}"
+                );
+                (p.x, p.y)
+            })
+            .collect()
+    }
+
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same seed must reproduce identical predictions");
+}
+
+/// The `Localizer`/`Framework` traits are usable through the prelude with a
+/// baseline framework, not just STONE.
+#[test]
+fn framework_trait_objects_work_through_prelude() {
+    let suite = stone_repro::dataset::office_suite(&SuiteConfig::tiny(3));
+    let knn = stone_repro::baselines::KnnBuilder::default();
+    let loc = Framework::fit(&knn, &suite.train, 3);
+    let fp = &suite.buckets[0].trajectories[0].fingerprints[0];
+    let p = Localizer::locate(loc.as_ref(), &fp.rssi);
+    assert!(p.x.is_finite() && p.y.is_finite());
+}
