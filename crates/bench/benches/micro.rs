@@ -3,7 +3,11 @@
 //! The paper's motivation (Sec. I) includes running the whole pipeline on a
 //! smartphone; these benches measure the per-scan inference cost of each
 //! component on this machine: preprocessing, encoder forward pass, KNN
-//! query, triplet selection and one full training step.
+//! query, triplet selection and one full training step — plus the
+//! serial-vs-parallel pairs documented in `docs/PERFORMANCE.md` (large
+//! matmul at 1 thread vs. the `STONE_THREADS` budget, and batch-1 vs.
+//! batch-32 embedding). On a single-core machine the paired entries should
+//! tie; the speedup appears with the core count.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
@@ -57,6 +61,43 @@ fn bench_locate(c: &mut Criterion) {
     });
 }
 
+fn bench_matmul_serial_vs_parallel(c: &mut Criterion) {
+    use stone_tensor::{matmul, rng::uniform_tensor};
+    let mut rng = StdRng::seed_from_u64(5);
+    // 256³ = 16.8M MACs: far above the parallel threshold, the shape of a
+    // batched encoder dense layer at serving scale.
+    let a = uniform_tensor(&mut rng, vec![256, 256], -1.0, 1.0);
+    let b = uniform_tensor(&mut rng, vec![256, 256], -1.0, 1.0);
+    c.bench_function("matmul/256x256x256_serial_1thread", |bch| {
+        bch.iter(|| stone_par::with_threads(1, || black_box(matmul(black_box(&a), black_box(&b)))))
+    });
+    c.bench_function("matmul/256x256x256_parallel_max_threads", |bch| {
+        bch.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
+    });
+}
+
+fn bench_embed_batch(c: &mut Criterion) {
+    let suite = quick_suite();
+    let codec = ImageCodec::new(suite.train.ap_count());
+    let mut rng = StdRng::seed_from_u64(0);
+    let net = build_encoder(&EncoderConfig::paper(codec.side(), 8), &mut rng);
+    let raws: Vec<&[f32]> = suite.train.records()[..32].iter().map(|r| r.rssi.as_slice()).collect();
+    let singles: Vec<_> = raws.iter().map(|r| codec.encode_batch(&[r])).collect();
+    let batch = codec.encode_batch(&raws);
+    // 32 batch-1 forward passes vs. one batch-32 pass: the gap is the
+    // per-pass overhead `embed_batch`/`locate_batch` amortize.
+    c.bench_function("encoder/forward_32_scans_batch1", |b| {
+        b.iter(|| {
+            for x in &singles {
+                black_box(net.predict(black_box(x)));
+            }
+        })
+    });
+    c.bench_function("encoder/forward_32_scans_batch32", |b| {
+        b.iter(|| black_box(net.predict(black_box(&batch))))
+    });
+}
+
 fn bench_triplet_selection(c: &mut Criterion) {
     let suite = quick_suite();
     let index = TrainIndex::new(&suite.train);
@@ -95,6 +136,8 @@ criterion_group!(
     config = Criterion::default().sample_size(20);
     targets = bench_preprocess,
         bench_encoder_forward,
+        bench_matmul_serial_vs_parallel,
+        bench_embed_batch,
         bench_locate,
         bench_triplet_selection,
         bench_training_step

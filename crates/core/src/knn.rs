@@ -91,17 +91,27 @@ impl EmbeddingKnn {
         self.positions.push(pos);
     }
 
+    /// Multiply-accumulate count (references × embedding dim) above which
+    /// the brute-force distance sweep is split across threads — the same
+    /// spawn/join break-even as the tensor crate's matmul dispatch. Each
+    /// distance depends only on its own reference entry, so the parallel
+    /// sweep is bitwise identical to the serial one; the stable sort that
+    /// follows is always serial.
+    const PAR_MIN_SWEEP_MACS: usize = stone_tensor::PAR_MIN_MACS;
+
+    /// Squared distance between a stored embedding and the query.
+    fn dist2(e: &[f32], query: &[f32]) -> f32 {
+        e.iter().zip(query).map(|(&a, &b)| (a - b) * (a - b)).sum()
+    }
+
     /// Indices and squared distances of the k nearest stored embeddings.
     fn nearest(&self, query: &[f32]) -> Vec<(usize, f32)> {
-        let mut dists: Vec<(usize, f32)> = self
-            .embeddings
-            .iter()
-            .enumerate()
-            .map(|(i, e)| {
-                let d: f32 = e.iter().zip(query).map(|(&a, &b)| (a - b) * (a - b)).sum();
-                (i, d)
-            })
-            .collect();
+        let sweep_macs = self.embeddings.len().saturating_mul(query.len());
+        let mut dists: Vec<(usize, f32)> = if sweep_macs >= Self::PAR_MIN_SWEEP_MACS {
+            stone_par::par_map(&self.embeddings, |i, e| (i, Self::dist2(e, query)))
+        } else {
+            self.embeddings.iter().enumerate().map(|(i, e)| (i, Self::dist2(e, query))).collect()
+        };
         dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
         dists.truncate(self.k);
         dists
@@ -174,6 +184,43 @@ impl EmbeddingKnn {
             }
         }
     }
+
+    /// Minimum `queries × references` pairs before [`EmbeddingKnn::locate_batch`]
+    /// spawns threads; below this the per-region spawn/join overhead (~tens
+    /// of µs) outweighs the sub-µs per-query sweeps.
+    const PAR_MIN_BATCH_WORK: usize = 1 << 15;
+
+    /// Predicts positions for a batch of queries, one thread per block of
+    /// queries (`STONE_THREADS` controls the budget) once the total work
+    /// crosses [`EmbeddingKnn::PAR_MIN_BATCH_WORK`] query·reference pairs.
+    /// Queries are independent, so the result equals calling
+    /// [`EmbeddingKnn::locate`] per query, in order — on either path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the model is empty and `queries` is non-empty.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use stone::{EmbeddingKnn, KnnMode};
+    /// use stone_dataset::RpId;
+    /// use stone_radio::Point2;
+    ///
+    /// let mut knn = EmbeddingKnn::new(1, KnnMode::Classify);
+    /// knn.insert(vec![0.0, 1.0], RpId(0), Point2::new(0.0, 0.0));
+    /// knn.insert(vec![1.0, 0.0], RpId(1), Point2::new(5.0, 0.0));
+    /// let ps = knn.locate_batch(&[vec![0.9, 0.1], vec![0.1, 0.9]]);
+    /// assert_eq!(ps, vec![Point2::new(5.0, 0.0), Point2::new(0.0, 0.0)]);
+    /// ```
+    #[must_use]
+    pub fn locate_batch(&self, queries: &[Vec<f32>]) -> Vec<Point2> {
+        if queries.len().saturating_mul(self.len()) >= Self::PAR_MIN_BATCH_WORK {
+            stone_par::par_map(queries, |_, q| self.locate(q))
+        } else {
+            queries.iter().map(|q| self.locate(q)).collect()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +270,35 @@ mod tests {
     fn empty_model_panics() {
         let knn = EmbeddingKnn::new(1, KnnMode::Classify);
         let _ = knn.locate(&[0.0]);
+    }
+
+    #[test]
+    fn locate_batch_matches_per_query_locate() {
+        let knn = model(KnnMode::WeightedRegression, 2);
+        let queries = vec![vec![0.05, 0.0], vec![0.95, 1.0], vec![0.5, 0.5]];
+        let batch = knn.locate_batch(&queries);
+        let single: Vec<_> = queries.iter().map(|q| knn.locate(q)).collect();
+        assert_eq!(batch, single);
+    }
+
+    #[test]
+    fn parallel_distance_sweep_is_bitwise_identical() {
+        // Enough refs × dim MACs that the parallel sweep actually engages.
+        let mut knn = EmbeddingKnn::new(7, KnnMode::WeightedRegression);
+        for i in 0..(EmbeddingKnn::PAR_MIN_SWEEP_MACS / 2 + 500) {
+            let a = (i as f32 * 0.37).sin();
+            let b = (i as f32 * 0.11).cos();
+            knn.insert(
+                vec![a, b],
+                RpId((i % 40) as u32),
+                Point2::new((i % 7) as f64, (i % 13) as f64),
+            );
+        }
+        let q = vec![0.2, -0.4];
+        let serial = stone_par::with_threads(1, || knn.locate(&q));
+        for nt in [2, 8] {
+            assert_eq!(stone_par::with_threads(nt, || knn.locate(&q)), serial, "{nt} threads");
+        }
     }
 
     #[test]

@@ -217,6 +217,67 @@ impl StoneLocalizer {
     pub fn embed(&self, rssi: &[f32]) -> Vec<f32> {
         self.encoder.embed(rssi)
     }
+
+    /// Scans per encoder forward pass in the batched online path: large
+    /// enough to amortize per-call overhead across the convolution lowering,
+    /// small enough to bound the im2col working set.
+    const LOCATE_BATCH: usize = 64;
+
+    /// Embeds a batch of raw fingerprints in one encoder forward pass.
+    ///
+    /// Every layer of the encoder is row-independent at inference time, so
+    /// each returned embedding is bitwise identical to what
+    /// [`StoneLocalizer::embed`] produces for that fingerprint alone — the
+    /// batch only amortizes the per-pass overhead (and unlocks the parallel
+    /// matmul once the batched product crosses the size threshold).
+    ///
+    /// # Example
+    ///
+    /// ```no_run
+    /// use stone::StoneBuilder;
+    /// use stone_dataset::{office_suite, SuiteConfig};
+    ///
+    /// let suite = office_suite(&SuiteConfig::tiny(1));
+    /// let loc = StoneBuilder::quick().fit(&suite.train, 1);
+    /// let raws: Vec<&[f32]> =
+    ///     suite.train.records().iter().take(8).map(|r| r.rssi.as_slice()).collect();
+    /// let embeddings = loc.embed_batch(&raws);
+    /// assert_eq!(embeddings.len(), 8);
+    /// assert_eq!(embeddings[0], loc.embed(raws[0]));
+    /// ```
+    #[must_use]
+    pub fn embed_batch(&self, rssi: &[&[f32]]) -> Vec<Vec<f32>> {
+        if rssi.is_empty() {
+            return Vec::new();
+        }
+        let emb = self.encoder.embed_batch(rssi);
+        (0..emb.rows()).map(|i| emb.row(i).to_vec()).collect()
+    }
+
+    /// Predicts positions for a batch of scans: chunked batched encoder
+    /// forward passes followed by a parallel KNN sweep. Equal to calling
+    /// [`Localizer::locate`] per scan, in order.
+    ///
+    /// # Example
+    ///
+    /// ```no_run
+    /// use stone::StoneBuilder;
+    /// use stone_dataset::{office_suite, Localizer, SuiteConfig};
+    ///
+    /// let suite = office_suite(&SuiteConfig::tiny(1));
+    /// let loc = StoneBuilder::quick().fit(&suite.train, 1);
+    /// let raws: Vec<&[f32]> =
+    ///     suite.train.records().iter().map(|r| r.rssi.as_slice()).collect();
+    /// assert_eq!(loc.locate_batch(&raws)[0], loc.locate(raws[0]));
+    /// ```
+    #[must_use]
+    pub fn locate_batch(&self, rssi: &[&[f32]]) -> Vec<Point2> {
+        let mut out = Vec::with_capacity(rssi.len());
+        for chunk in rssi.chunks(Self::LOCATE_BATCH) {
+            out.extend(self.knn.locate_batch(&self.embed_batch(chunk)));
+        }
+        out
+    }
 }
 
 impl Localizer for StoneLocalizer {
@@ -226,6 +287,14 @@ impl Localizer for StoneLocalizer {
 
     fn locate(&self, rssi: &[f32]) -> Point2 {
         self.knn.locate(&self.embed(rssi))
+    }
+
+    fn locate_trajectory(&mut self, traj: &stone_dataset::Trajectory) -> Vec<Point2> {
+        // Batched override of the default scan-by-scan walk: one encoder
+        // forward pass per LOCATE_BATCH scans. Same results, amortized cost
+        // (this is what the parallel experiment runner leans on).
+        let raws: Vec<&[f32]> = traj.fingerprints.iter().map(|f| f.rssi.as_slice()).collect();
+        self.locate_batch(&raws)
     }
 }
 

@@ -39,7 +39,12 @@ pub trait Localizer {
 }
 
 /// A trainable localization framework: the offline phase of Fig. 2.
-pub trait Framework {
+///
+/// `Sync` is a supertrait so the evaluation harness can train and evaluate
+/// several frameworks concurrently (`stone-eval`'s parallel
+/// `Experiment::run`); implementations are plain configuration values, so
+/// the bound costs nothing.
+pub trait Framework: Sync {
     /// Short human-readable framework name.
     fn name(&self) -> &str;
 

@@ -65,36 +65,47 @@ impl Experiment {
     /// Trains every framework on the suite's offline set, then walks the
     /// bucket timeline (see the crate docs for the retraining policy).
     ///
+    /// Frameworks are independent tasks and are evaluated **concurrently**
+    /// (up to `STONE_THREADS` at a time). Each task's randomness derives
+    /// only from the experiment seed and the framework itself — never from
+    /// scheduling — and the result series is ordered by input position, so
+    /// a parallel run is byte-identical to a serial (`STONE_THREADS=1`)
+    /// one. Buckets within a task stay sequential: bucket `t` must be
+    /// evaluated before the localizer may adapt on bucket `t`'s scans.
+    ///
     /// # Panics
     ///
     /// Panics when the suite has no buckets or a bucket has no trajectories.
     #[must_use]
     pub fn run(&self, suite: &LongTermSuite, frameworks: &[&dyn Framework]) -> ExperimentReport {
         assert!(!suite.buckets.is_empty(), "suite has no evaluation buckets");
-        let mut series = Vec::with_capacity(frameworks.len());
-        for fw in frameworks {
-            let mut loc = fw.fit(&suite.train, self.seed);
-            let mut errors = Vec::with_capacity(suite.buckets.len());
-            for bucket in &suite.buckets {
-                let mut preds: Vec<Point2> = Vec::new();
-                let mut truths: Vec<Point2> = Vec::new();
-                for traj in &bucket.trajectories {
-                    preds.extend(loc.locate_trajectory(traj));
-                    truths.extend(traj.fingerprints.iter().map(|f| f.pos));
-                }
-                assert!(!preds.is_empty(), "bucket {} has no test points", bucket.label);
-                errors.push(mean_error_m(&preds, &truths));
-                // Offer this bucket's unlabeled scans for refitting before
-                // the next bucket (LT-KNN's monthly recalibration).
-                loc.adapt(&bucket.raw_scans());
-            }
-            series.push(SeriesResult {
-                framework: fw.name().to_string(),
-                mean_errors_m: errors,
-                requires_retraining: loc.requires_retraining(),
-            });
-        }
+        let series = stone_par::par_map(frameworks, |_, fw| self.evaluate_one(suite, *fw));
         ExperimentReport { suite: suite.name.clone(), bucket_labels: suite.bucket_labels(), series }
+    }
+
+    /// Trains one framework and walks it through the bucket timeline — the
+    /// body of one parallel evaluation task.
+    fn evaluate_one(&self, suite: &LongTermSuite, fw: &dyn Framework) -> SeriesResult {
+        let mut loc = fw.fit(&suite.train, self.seed);
+        let mut errors = Vec::with_capacity(suite.buckets.len());
+        for bucket in &suite.buckets {
+            let mut preds: Vec<Point2> = Vec::new();
+            let mut truths: Vec<Point2> = Vec::new();
+            for traj in &bucket.trajectories {
+                preds.extend(loc.locate_trajectory(traj));
+                truths.extend(traj.fingerprints.iter().map(|f| f.pos));
+            }
+            assert!(!preds.is_empty(), "bucket {} has no test points", bucket.label);
+            errors.push(mean_error_m(&preds, &truths));
+            // Offer this bucket's unlabeled scans for refitting before
+            // the next bucket (LT-KNN's monthly recalibration).
+            loc.adapt(&bucket.raw_scans());
+        }
+        SeriesResult {
+            framework: fw.name().to_string(),
+            mean_errors_m: errors,
+            requires_retraining: loc.requires_retraining(),
+        }
     }
 }
 
@@ -146,8 +157,22 @@ impl ExperimentReport {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
+    /// The series in canonical render order: sorted by framework name
+    /// (stable, so duplicates keep their relative input order).
+    ///
+    /// Rendering through this view makes every textual artifact a function
+    /// of the report's *contents* only — independent of roster order and,
+    /// in particular, of the completion order of the parallel runner — so
+    /// outputs from repeated runs diff cleanly.
+    fn canonical_series(&self) -> Vec<&SeriesResult> {
+        let mut view: Vec<&SeriesResult> = self.series.iter().collect();
+        view.sort_by(|a, b| a.framework.cmp(&b.framework));
+        view
+    }
+
     /// Renders the report as a fixed-width ASCII table (frameworks × buckets,
-    /// plus overall means), the textual equivalent of Figs. 5/6.
+    /// plus overall means), the textual equivalent of Figs. 5/6. Rows are in
+    /// canonical (framework-name) order.
     #[must_use]
     pub fn render_table(&self) -> String {
         let mut out = String::new();
@@ -164,7 +189,7 @@ impl ExperimentReport {
             let _ = write!(out, "{l:>7}");
         }
         let _ = writeln!(out, "{:>8}{:>9}", "mean", "retrain?");
-        for s in &self.series {
+        for s in self.canonical_series() {
             let _ = write!(out, "{:<name_w$}", s.framework);
             for e in &s.mean_errors_m {
                 let _ = write!(out, "{e:>7.2}");
@@ -180,10 +205,11 @@ impl ExperimentReport {
     }
 
     /// Serializes the report as CSV (`framework,bucket,label,error_m`).
+    /// Rows are in canonical (framework-name, bucket) order.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from("framework,bucket,label,error_m\n");
-        for s in &self.series {
+        for s in self.canonical_series() {
             for (i, (l, e)) in self.bucket_labels.iter().zip(&s.mean_errors_m).enumerate() {
                 let _ = writeln!(out, "{},{},{},{:.4}", s.framework, i, l, e);
             }
@@ -244,6 +270,18 @@ mod tests {
         let csv = r.to_csv();
         assert_eq!(csv.lines().count(), 1 + 2 * 2);
         assert!(csv.starts_with("framework,bucket,label,error_m"));
+    }
+
+    #[test]
+    fn rendering_is_independent_of_series_order() {
+        // The parallel runner guarantees input order, but the textual
+        // artifacts must not even depend on that: scrambling the series
+        // vector must not change the table or the CSV.
+        let r = report();
+        let mut scrambled = r.clone();
+        scrambled.series.reverse();
+        assert_eq!(r.render_table(), scrambled.render_table());
+        assert_eq!(r.to_csv(), scrambled.to_csv());
     }
 
     #[test]

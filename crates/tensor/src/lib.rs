@@ -38,7 +38,7 @@ mod tensor;
 
 pub use conv::{col2im, im2col, Conv2dGeometry};
 pub use error::TensorError;
-pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b, PAR_MIN_MACS};
 pub use reduce::{argmax, mean_all, softmax_rows, sum_all, sum_axis0};
 pub use tensor::Tensor;
 

@@ -7,14 +7,120 @@
 //! * [`matmul_at_b`] — `C = Aᵀ · B` (used for input gradients)
 //! * [`matmul_a_bt`] — `C = A · Bᵀ` (used for weight gradients)
 //!
-//! All three use cache-friendly loop orders over contiguous rows so the
-//! compiler can autovectorize the inner loops; on the single-core target
-//! machine this reaches a large fraction of scalar-SIMD peak for the small
-//! matrices (hundreds of rows/cols) that the STONE encoder produces.
+//! # Execution model
+//!
+//! All three share the same structure: a cache-blocked serial kernel that
+//! computes a contiguous *range of output rows*, and a dispatcher that
+//! either runs that kernel once (small products) or partitions the output
+//! rows across threads with [`stone_par::par_chunks`] (products above
+//! [`PAR_MIN_MACS`] multiply-accumulates). Each output element is
+//! accumulated in the same order on every path — inner dimension strictly
+//! increasing — so the parallel result is **bitwise identical** to the
+//! serial one at any thread count (`STONE_THREADS`, see
+//! `docs/PERFORMANCE.md`).
+//!
+//! Within a kernel the loop order keeps contiguous rows hot: the `matmul`
+//! kernel additionally walks the inner dimension in panels of [`K_BLOCK`]
+//! rows of `B`, so a panel is reused across every output row of the block
+//! before the next panel is touched.
 
 use crate::Tensor;
 
+/// Multiply-accumulate count (`m·k·n`) below which the dispatchers stay
+/// serial: below this size thread spawn/join overhead (~tens of µs) exceeds
+/// the compute being split.
+pub const PAR_MIN_MACS: usize = 1 << 18;
+
+/// Rows of `B` (resp. columns of `A`) per cache panel in the blocked
+/// kernels.
+const K_BLOCK: usize = 64;
+
+/// Whether a product with `macs` total multiply-accumulates is worth
+/// dispatching through the thread pool (which resolves the actual thread
+/// count itself, capped by the number of output rows).
+fn worth_threads(macs: usize) -> bool {
+    macs >= PAR_MIN_MACS
+}
+
+/// `matmul` kernel for output rows `[r0, r0 + c_block.len() / n)`.
+fn mm_kernel(a: &Tensor, b: &Tensor, c_block: &mut [f32], r0: usize) {
+    let k = a.cols();
+    let n = b.cols();
+    let rows = c_block.len() / n;
+    let bd = b.as_slice();
+    for p0 in (0..k).step_by(K_BLOCK) {
+        let p1 = (p0 + K_BLOCK).min(k);
+        for ri in 0..rows {
+            let arow = a.row(r0 + ri);
+            let crow = &mut c_block[ri * n..(ri + 1) * n];
+            for p in p0..p1 {
+                let av = arow[p];
+                if av != 0.0 {
+                    let brow = &bd[p * n..(p + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `matmul_at_b` kernel for output rows `[p0, p0 + c_block.len() / n)`
+/// (output row `p` is column `p` of `A`).
+fn mm_at_b_kernel(a: &Tensor, b: &Tensor, c_block: &mut [f32], p0: usize) {
+    let m = a.rows();
+    let n = b.cols();
+    let rows = c_block.len() / n;
+    for i in 0..m {
+        let arow = a.row(i);
+        let brow = b.row(i);
+        for pi in 0..rows {
+            let av = arow[p0 + pi];
+            if av != 0.0 {
+                let crow = &mut c_block[pi * n..(pi + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `matmul_a_bt` kernel for output rows `[r0, r0 + c_block.len() / n)`.
+fn mm_a_bt_kernel(a: &Tensor, b: &Tensor, c_block: &mut [f32], r0: usize) {
+    let n = b.rows();
+    let rows = c_block.len() / n;
+    for ri in 0..rows {
+        let arow = a.row(r0 + ri);
+        let crow = &mut c_block[ri * n..(ri + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = b.row(j);
+            *cv = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+        }
+    }
+}
+
+/// Runs a row-range kernel over all of `c`, through the thread pool when
+/// `parallel` (a 1-thread budget degrades to the serial call inside
+/// `par_chunks`).
+fn dispatch(c: &mut Tensor, parallel: bool, kernel: impl Fn(&mut [f32], usize) + Sync) {
+    let n = c.cols();
+    if c.is_empty() {
+        return;
+    }
+    if parallel {
+        stone_par::par_chunks(c.as_mut_slice(), n, |r0, block| kernel(block, r0));
+    } else {
+        kernel(c.as_mut_slice(), 0);
+    }
+}
+
 /// Computes `A · B` for `A: [m, k]` and `B: [k, n]`.
+///
+/// Products with at least [`PAR_MIN_MACS`] multiply-accumulates are split
+/// across threads by output row; the result is bitwise identical to the
+/// serial path at any thread count.
 ///
 /// # Panics
 ///
@@ -36,23 +142,14 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (bk, n) = (b.rows(), b.cols());
     assert_eq!(k, bk, "matmul inner dimensions differ: {k} vs {bk}");
     let mut c = Tensor::zeros(vec![m, n]);
-    let bd = b.as_slice();
-    for i in 0..m {
-        let arow = a.row(i);
-        let crow = c.row_mut(i);
-        for (p, &av) in arow.iter().enumerate() {
-            if av != 0.0 {
-                let brow = &bd[p * n..(p + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += av * bv;
-                }
-            }
-        }
-    }
+    dispatch(&mut c, worth_threads(m * k * n), |block, r0| mm_kernel(a, b, block, r0));
     c
 }
 
 /// Computes `Aᵀ · B` for `A: [m, k]` and `B: [m, n]`, yielding `[k, n]`.
+///
+/// Parallel above [`PAR_MIN_MACS`] multiply-accumulates, bitwise identical
+/// to the serial path at any thread count.
 ///
 /// # Panics
 ///
@@ -74,23 +171,14 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (bm, n) = (b.rows(), b.cols());
     assert_eq!(m, bm, "matmul_at_b leading dimensions differ: {m} vs {bm}");
     let mut c = Tensor::zeros(vec![k, n]);
-    let cd = c.as_mut_slice();
-    for i in 0..m {
-        let arow = a.row(i);
-        let brow = b.row(i);
-        for (p, &av) in arow.iter().enumerate() {
-            if av != 0.0 {
-                let crow = &mut cd[p * n..(p + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += av * bv;
-                }
-            }
-        }
-    }
+    dispatch(&mut c, worth_threads(m * k * n), |block, p0| mm_at_b_kernel(a, b, block, p0));
     c
 }
 
 /// Computes `A · Bᵀ` for `A: [m, k]` and `B: [n, k]`, yielding `[m, n]`.
+///
+/// Parallel above [`PAR_MIN_MACS`] multiply-accumulates, bitwise identical
+/// to the serial path at any thread count.
 ///
 /// # Panics
 ///
@@ -113,14 +201,7 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (n, bk) = (b.rows(), b.cols());
     assert_eq!(k, bk, "matmul_a_bt trailing dimensions differ: {k} vs {bk}");
     let mut c = Tensor::zeros(vec![m, n]);
-    for i in 0..m {
-        let arow = a.row(i);
-        let crow = c.row_mut(i);
-        for (j, cv) in crow.iter_mut().enumerate() {
-            let brow = b.row(j);
-            *cv = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
-        }
-    }
+    dispatch(&mut c, worth_threads(m * k * n), |block, r0| mm_a_bt_kernel(a, b, block, r0));
     c
 }
 
@@ -184,5 +265,61 @@ mod tests {
         let c = matmul(&a, &b);
         assert_eq!(c.shape(), &[4, 2]);
         assert!(c.as_slice().iter().all(|&x| (x - 5.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn degenerate_dimensions_yield_empty_or_zero() {
+        // k = 0: the sum over an empty inner dimension is all zeros.
+        let a = Tensor::zeros(vec![3, 0]);
+        let b = Tensor::zeros(vec![0, 2]);
+        assert_eq!(matmul(&a, &b), Tensor::zeros(vec![3, 2]));
+        // n = 0: empty output.
+        let a = Tensor::zeros(vec![3, 2]);
+        let b = Tensor::zeros(vec![2, 0]);
+        assert_eq!(matmul(&a, &b).shape(), &[3, 0]);
+    }
+
+    /// Deterministic pseudo-random matrix (no RNG dependency in unit tests).
+    fn pseudo(shape: &[usize], salt: u32) -> Tensor {
+        Tensor::from_fn(shape.to_vec(), |i| {
+            let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+            (h % 2003) as f32 / 1001.5 - 1.0
+        })
+    }
+
+    #[test]
+    fn parallel_paths_are_bitwise_identical_to_serial() {
+        // 96·80·72 = 552 960 MACs — above PAR_MIN_MACS, odd block splits.
+        let a = pseudo(&[96, 80], 1);
+        let b = pseudo(&[80, 72], 2);
+        let at = pseudo(&[80, 96], 3);
+        let bt = pseudo(&[72, 80], 4);
+        let serial = stone_par::with_threads(1, || {
+            (matmul(&a, &b), matmul_at_b(&at, &b), matmul_a_bt(&a, &bt))
+        });
+        for nt in [2, 3, 8] {
+            let par = stone_par::with_threads(nt, || {
+                (matmul(&a, &b), matmul_at_b(&at, &b), matmul_a_bt(&a, &bt))
+            });
+            assert_eq!(serial.0.as_slice(), par.0.as_slice(), "matmul, {nt} threads");
+            assert_eq!(serial.1.as_slice(), par.1.as_slice(), "matmul_at_b, {nt} threads");
+            assert_eq!(serial.2.as_slice(), par.2.as_slice(), "matmul_a_bt, {nt} threads");
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_matches_naive_triple_loop() {
+        let a = pseudo(&[67, 130], 5);
+        let b = pseudo(&[130, 9], 6);
+        let c = matmul(&a, &b);
+        for i in 0..67 {
+            for j in 0..9 {
+                let mut acc = 0.0f32;
+                for p in 0..130 {
+                    acc += a.at2(i, p) * b.at2(p, j);
+                }
+                assert!((c.at2(i, j) - acc).abs() <= 1e-3 * acc.abs().max(1.0));
+            }
+        }
     }
 }

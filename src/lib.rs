@@ -4,6 +4,7 @@
 //! subsystem so that examples and downstream users can depend on a single
 //! crate:
 //!
+//! * [`par`] — dependency-free scoped data parallelism (`STONE_THREADS`);
 //! * [`tensor`] — dense `f32` tensors and small linear algebra;
 //! * [`nn`] — layer-based neural networks with manual backprop;
 //! * [`radio`] — the indoor WiFi propagation simulator;
@@ -19,6 +20,7 @@ pub use stone_baselines as baselines;
 pub use stone_dataset as dataset;
 pub use stone_eval as eval;
 pub use stone_nn as nn;
+pub use stone_par as par;
 pub use stone_radio as radio;
 pub use stone_tensor as tensor;
 

@@ -1,0 +1,146 @@
+//! The parallel subsystem's contract (see `docs/PERFORMANCE.md`): every
+//! parallel path — blocked matmul, batched embedding, parallel KNN sweep,
+//! and the concurrent experiment runner — produces **bitwise-identical**
+//! results at thread counts 1, 2 and 8.
+//!
+//! `stone_par::with_threads` installs a process-wide override, so every
+//! test in this binary takes `THREAD_LOCK` before touching it.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stone::{StoneBuilder, StoneConfig, TrainerConfig};
+use stone_baselines::{KnnBuilder, LtKnnBuilder};
+use stone_dataset::{office_suite, Framework, Localizer, SuiteConfig};
+use stone_eval::{Experiment, ExperimentReport};
+use stone_par::with_threads;
+use stone_tensor::{matmul, matmul_a_bt, matmul_at_b, rng::uniform_tensor, Tensor};
+
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    THREAD_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Runs `f` at every thread count and asserts all results equal the
+/// single-thread one.
+fn assert_thread_invariant<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) {
+    let baseline = with_threads(1, &f);
+    for nt in THREAD_COUNTS {
+        assert_eq!(with_threads(nt, &f), baseline, "diverged at {nt} threads");
+    }
+}
+
+#[test]
+fn matmul_variants_are_bitwise_identical_across_thread_counts() {
+    let _g = lock();
+    let mut rng = StdRng::seed_from_u64(11);
+    // 120·90·70 = 756 000 MACs — comfortably above the parallel threshold,
+    // with split points that don't divide evenly at 2 or 8 threads.
+    let a = uniform_tensor(&mut rng, vec![120, 90], -2.0, 2.0);
+    let b = uniform_tensor(&mut rng, vec![90, 70], -2.0, 2.0);
+    let at = uniform_tensor(&mut rng, vec![90, 120], -2.0, 2.0);
+    let bt = uniform_tensor(&mut rng, vec![70, 90], -2.0, 2.0);
+    assert_thread_invariant(|| -> Vec<Vec<f32>> {
+        vec![
+            matmul(&a, &b).into_vec(),
+            matmul_at_b(&at, &b).into_vec(),
+            matmul_a_bt(&a, &bt).into_vec(),
+        ]
+    });
+}
+
+#[test]
+fn matmul_parallel_path_equals_pre_parallel_reference() {
+    let _g = lock();
+    // Freeze the semantics: the blocked/parallel kernel must match the
+    // naive triple loop (the seed implementation) exactly, element order
+    // and all, not just approximately.
+    let mut rng = StdRng::seed_from_u64(12);
+    let a = uniform_tensor(&mut rng, vec![80, 96], -1.0, 1.0);
+    let b = uniform_tensor(&mut rng, vec![96, 64], -1.0, 1.0);
+    let mut naive = Tensor::zeros(vec![80, 64]);
+    for i in 0..80 {
+        for p in 0..96 {
+            let av = a.at2(i, p);
+            if av != 0.0 {
+                for j in 0..64 {
+                    let v = naive.at2(i, j) + av * b.at2(p, j);
+                    naive.set2(i, j, v);
+                }
+            }
+        }
+    }
+    for nt in THREAD_COUNTS {
+        let c = with_threads(nt, || matmul(&a, &b));
+        assert_eq!(c.as_slice(), naive.as_slice(), "{nt} threads");
+    }
+}
+
+fn tiny_stone() -> StoneBuilder {
+    StoneBuilder::from_config(StoneConfig {
+        trainer: TrainerConfig {
+            embed_dim: 3,
+            epochs: 2,
+            triplets_per_epoch: 32,
+            batch_size: 16,
+            ..TrainerConfig::quick()
+        },
+        ..StoneConfig::quick()
+    })
+}
+
+#[test]
+fn embed_batch_matches_single_scan_embeddings_across_thread_counts() {
+    let _g = lock();
+    let suite = office_suite(&SuiteConfig::tiny(41));
+    let loc = tiny_stone().fit(&suite.train, 41);
+    let raws: Vec<&[f32]> =
+        suite.train.records().iter().take(20).map(|r| r.rssi.as_slice()).collect();
+    let singles: Vec<Vec<f32>> = raws.iter().map(|r| loc.embed(r)).collect();
+    assert_thread_invariant(|| loc.embed_batch(&raws));
+    assert_eq!(loc.embed_batch(&raws), singles, "batched forward != per-scan forward");
+}
+
+#[test]
+fn locate_batch_matches_single_scan_locate() {
+    let _g = lock();
+    let suite = office_suite(&SuiteConfig::tiny(42));
+    let loc = tiny_stone().fit(&suite.train, 42);
+    let raws: Vec<&[f32]> =
+        suite.buckets[0].trajectories[0].fingerprints.iter().map(|f| f.rssi.as_slice()).collect();
+    let singles: Vec<_> = raws.iter().map(|r| loc.locate(r)).collect();
+    assert_thread_invariant(|| loc.locate_batch(&raws));
+    assert_eq!(loc.locate_batch(&raws), singles);
+}
+
+fn run_experiment(seed: u64) -> ExperimentReport {
+    let suite = office_suite(&SuiteConfig::tiny(seed));
+    let stone = tiny_stone();
+    let knn = KnnBuilder::default();
+    let lt = LtKnnBuilder::default();
+    let frameworks: Vec<&dyn Framework> = vec![&stone, &knn, &lt];
+    Experiment::new(seed).run(&suite, &frameworks)
+}
+
+#[test]
+fn parallel_experiment_run_is_byte_identical_across_thread_counts() {
+    let _g = lock();
+    let baseline = with_threads(1, || run_experiment(77));
+    for nt in THREAD_COUNTS {
+        let report = with_threads(nt, || run_experiment(77));
+        assert_eq!(report, baseline, "report diverged at {nt} threads");
+        assert_eq!(report.to_csv(), baseline.to_csv(), "CSV diverged at {nt} threads");
+        assert_eq!(
+            report.render_table(),
+            baseline.render_table(),
+            "table diverged at {nt} threads"
+        );
+    }
+    // Series order is the input roster order, not completion order.
+    let names: Vec<&str> = baseline.series.iter().map(|s| s.framework.as_str()).collect();
+    assert_eq!(names, vec!["STONE", "KNN", "LT-KNN"]);
+}
