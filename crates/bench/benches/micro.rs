@@ -5,19 +5,21 @@
 //! component on this machine: preprocessing, encoder forward pass, KNN
 //! query, triplet selection and one full training step — plus the
 //! serial-vs-parallel pairs documented in `docs/PERFORMANCE.md` (large
-//! matmul at 1 thread vs. the `STONE_THREADS` budget, and batch-1 vs.
-//! batch-32 embedding). On a single-core machine the paired entries should
-//! tie; the speedup appears with the core count.
+//! matmul at 1 thread vs. the `STONE_THREADS` budget, batch-1 vs.
+//! batch-32 embedding, and serial vs. sharded paper-scale UJI suite
+//! generation). On a single-core machine the paired entries should tie;
+//! the speedup appears with the core count.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use stone::{
-    build_encoder, EncoderConfig, FloorplanAwareSelector, ImageCodec, StoneBuilder, StoneConfig,
-    TrainIndex, TrainerConfig, TripletSelector,
+    build_encoder, EmbeddingKnn, EncoderConfig, FloorplanAwareSelector, ImageCodec, KnnMode,
+    StoneBuilder, StoneConfig, TrainIndex, TrainerConfig, TripletSelector,
 };
-use stone_dataset::{office_suite, Localizer, SuiteConfig};
+use stone_dataset::{office_suite, uji_plan, Localizer, SuiteConfig};
+use stone_radio::Point2;
 
 fn quick_suite() -> stone_dataset::LongTermSuite {
     office_suite(&SuiteConfig::new(42))
@@ -98,6 +100,38 @@ fn bench_embed_batch(c: &mut Criterion) {
     });
 }
 
+fn bench_knn_query(c: &mut Criterion) {
+    // 4096 references × 16 dims, k = 8 — an enrolled paper-scale reference
+    // set. `nearest` quickselects the top k (O(N) + O(k log k)) instead of
+    // fully sorting all N distances; this entry tracks that win.
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut knn = EmbeddingKnn::new(8, KnnMode::Classify);
+    use rand::Rng as _;
+    for i in 0..4096u32 {
+        let e: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        knn.insert(e, stone_dataset::RpId(i % 64), Point2::new(f64::from(i % 8), 0.0));
+    }
+    let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    c.bench_function("knn/classify_4096refs_dim16_k8", |b| {
+        b.iter(|| black_box(knn.classify(black_box(&q))))
+    });
+}
+
+fn bench_suite_generation(c: &mut Criterion) {
+    // Paper-scale UJI generation (49 RPs × 9 FPR survey + 15 buckets × 2
+    // walks): the serial-vs-sharded pair documented in
+    // `docs/PERFORMANCE.md`. Each survey RP and each bucket draws from its
+    // own seed-derived RNG stream, so the sharded entry is bitwise-equal to
+    // the serial one — the gap is pure thread scaling.
+    let cfg = SuiteConfig::new(42);
+    c.bench_function("suite/uji_generation_serial_1thread", |b| {
+        b.iter(|| stone_par::with_threads(1, || black_box(uji_plan(black_box(&cfg)).build())))
+    });
+    c.bench_function("suite/uji_generation_sharded_max_threads", |b| {
+        b.iter(|| black_box(uji_plan(black_box(&cfg)).build()))
+    });
+}
+
 fn bench_triplet_selection(c: &mut Criterion) {
     let suite = quick_suite();
     let index = TrainIndex::new(&suite.train);
@@ -139,6 +173,8 @@ criterion_group!(
         bench_matmul_serial_vs_parallel,
         bench_embed_batch,
         bench_locate,
+        bench_knn_query,
+        bench_suite_generation,
         bench_triplet_selection,
         bench_training_step
 );

@@ -105,6 +105,13 @@ impl EmbeddingKnn {
     }
 
     /// Indices and squared distances of the k nearest stored embeddings.
+    ///
+    /// Selection is O(N) + O(k log k), not a full O(N log N) sort: a
+    /// quickselect partition around the k-th entry, then a sort of the
+    /// k-prefix only. The comparator is total over `(distance, index)`, so
+    /// equal distances resolve by insertion order — exactly the order the
+    /// previous full *stable* distance sort produced, making the switch
+    /// invisible to predictions.
     fn nearest(&self, query: &[f32]) -> Vec<(usize, f32)> {
         let sweep_macs = self.embeddings.len().saturating_mul(query.len());
         let mut dists: Vec<(usize, f32)> = if sweep_macs >= Self::PAR_MIN_SWEEP_MACS {
@@ -112,8 +119,14 @@ impl EmbeddingKnn {
         } else {
             self.embeddings.iter().enumerate().map(|(i, e)| (i, Self::dist2(e, query))).collect()
         };
-        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
-        dists.truncate(self.k);
+        let cmp = |a: &(usize, f32), b: &(usize, f32)| {
+            a.1.partial_cmp(&b.1).expect("finite distances").then(a.0.cmp(&b.0))
+        };
+        if dists.len() > self.k {
+            dists.select_nth_unstable_by(self.k - 1, cmp);
+            dists.truncate(self.k);
+        }
+        dists.sort_unstable_by(cmp);
         dists
     }
 
@@ -130,7 +143,12 @@ impl EmbeddingKnn {
     }
 
     /// Predicts the RP label (majority vote; nearest-neighbour distance
-    /// breaks ties).
+    /// breaks ties, then the smallest RP id).
+    ///
+    /// The comparator is total: an exact `(votes, best-distance)` tie
+    /// resolves to the smallest [`RpId`], never to `HashMap` iteration
+    /// order (which is randomized per map and made repeated runs of the
+    /// same query disagree).
     ///
     /// # Panics
     ///
@@ -148,8 +166,13 @@ impl EmbeddingKnn {
         votes
             .into_iter()
             .max_by(|a, b| {
-                // More votes wins; then the smaller best-distance.
-                a.1 .0.cmp(&b.1 .0).then(b.1 .1.partial_cmp(&a.1 .1).expect("finite"))
+                // More votes wins; then the smaller best-distance; then the
+                // smaller RP id (a total order — keys are unique, so no two
+                // entries compare Equal and iteration order is irrelevant).
+                a.1 .0
+                    .cmp(&b.1 .0)
+                    .then(b.1 .1.partial_cmp(&a.1 .1).expect("finite"))
+                    .then(b.0.cmp(&a.0))
             })
             .map(|(rp, _)| rp)
             .expect("votes non-empty")
@@ -192,7 +215,7 @@ impl EmbeddingKnn {
 
     /// Predicts positions for a batch of queries, one thread per block of
     /// queries (`STONE_THREADS` controls the budget) once the total work
-    /// crosses [`EmbeddingKnn::PAR_MIN_BATCH_WORK`] query·reference pairs.
+    /// crosses `PAR_MIN_BATCH_WORK` (2¹⁵) query·reference pairs.
     /// Queries are independent, so the result equals calling
     /// [`EmbeddingKnn::locate`] per query, in order — on either path.
     ///
@@ -299,6 +322,51 @@ mod tests {
         for nt in [2, 8] {
             assert_eq!(stone_par::with_threads(nt, || knn.locate(&q)), serial, "{nt} threads");
         }
+    }
+
+    #[test]
+    fn exact_vote_tie_resolves_to_smallest_rp_id() {
+        // k = 2, one vote per RP, identical distances: an exact
+        // (votes, best-distance) tie. Before the total-order tie-break this
+        // was decided by HashMap iteration order — randomized per map, so
+        // repeated constructions could disagree. 100 fresh models (each
+        // HashMap gets fresh hash keys) must all agree on the smaller RpId.
+        for _ in 0..100 {
+            let mut knn = EmbeddingKnn::new(2, KnnMode::Classify);
+            knn.insert(vec![0.0, 1.0], RpId(7), Point2::new(0.0, 0.0));
+            knn.insert(vec![1.0, 0.0], RpId(2), Point2::new(5.0, 0.0));
+            assert_eq!(knn.classify(&[0.5, 0.5]), RpId(2));
+            // Position lookup goes through the same tie-break.
+            assert_eq!(knn.locate(&[0.5, 0.5]), Point2::new(5.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn vote_tie_still_prefers_closer_cluster() {
+        // Equal votes but unequal best distance: distance must win before
+        // the RpId tie-break kicks in, even when the id order disagrees.
+        let mut knn = EmbeddingKnn::new(2, KnnMode::Classify);
+        knn.insert(vec![0.0, 0.0], RpId(9), Point2::new(0.0, 0.0));
+        knn.insert(vec![1.0, 0.0], RpId(1), Point2::new(5.0, 0.0));
+        assert_eq!(knn.classify(&[0.1, 0.0]), RpId(9));
+    }
+
+    #[test]
+    fn selection_matches_full_stable_sort() {
+        // The quickselect top-k must reproduce the old full stable sort
+        // exactly, including insertion-order resolution of duplicate
+        // distances that straddle the k boundary.
+        let mut knn = EmbeddingKnn::new(4, KnnMode::WeightedRegression);
+        // Six refs at only two distinct distances from the query (0,0):
+        // d=1 for indices 0,2,4 and d=4 for indices 1,3,5.
+        for i in 0..6u32 {
+            let d = if i % 2 == 0 { 1.0 } else { 2.0 };
+            knn.insert(vec![d, 0.0], RpId(i), Point2::new(f64::from(i), 0.0));
+        }
+        let got = knn.nearest(&[0.0, 0.0]);
+        // Stable order: all d=1 refs by index, then d=4 refs by index.
+        let idx: Vec<usize> = got.iter().map(|&(i, _)| i).collect();
+        assert_eq!(idx, vec![0, 2, 4, 1]);
     }
 
     #[test]

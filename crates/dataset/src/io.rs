@@ -1,19 +1,28 @@
-//! CSV import/export of fingerprint datasets.
+//! CSV import/export of fingerprint datasets and evaluation buckets.
 //!
-//! The format mirrors common public fingerprint datasets (one row per scan,
-//! one column per AP, then label columns):
+//! The dataset format mirrors common public fingerprint datasets (one row
+//! per scan, one column per AP, then label columns):
 //!
 //! ```text
 //! ap000,ap001,...,rp,x,y,time_h,ci
-//! -62.0,-100.0,...,3,4.50,1.00,8.000,0
+//! -62,-100,...,3,4.5,1,8,0
 //! ```
+//!
+//! Floats are written with `{}` (Rust's shortest round-trip
+//! representation), **never** with a fixed precision: `from_csv(to_csv(ds))`
+//! reproduces every record bit-for-bit, which the workspace serialization
+//! tests pin down. The bucket format ([`bucket_to_csv`]) adds a one-line
+//! metadata prologue and a trailing `traj` column so trajectory boundaries
+//! survive the round trip — it is the disk-spill format of
+//! [`crate::SuitePlan::spill_buckets`].
 
 use std::fmt::Write as _;
 
 use stone_radio::{Point2, SimTime};
 
 use crate::dataset::FingerprintDataset;
-use crate::types::{Fingerprint, ReferencePoint, RpId};
+use crate::suites::EvalBucket;
+use crate::types::{Fingerprint, ReferencePoint, RpId, Trajectory};
 
 /// Errors produced when parsing a CSV dataset.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +35,8 @@ pub enum CsvError {
         /// 1-based row number (excluding the header).
         row: usize,
     },
+    /// The bucket metadata prologue is missing or malformed.
+    BadBucketMeta,
 }
 
 impl std::fmt::Display for CsvError {
@@ -33,13 +44,23 @@ impl std::fmt::Display for CsvError {
         match self {
             CsvError::BadHeader => write!(f, "missing or malformed CSV header"),
             CsvError::BadRow { row } => write!(f, "malformed CSV data row {row}"),
+            CsvError::BadBucketMeta => write!(f, "missing or malformed bucket metadata line"),
         }
     }
 }
 
 impl std::error::Error for CsvError {}
 
-/// Serializes a dataset to CSV.
+/// Writes one fingerprint's RSSI + label fields (shortest round-trip float
+/// representation; no precision truncation).
+fn write_record(out: &mut String, r: &Fingerprint) {
+    for v in &r.rssi {
+        let _ = write!(out, "{v},");
+    }
+    let _ = write!(out, "{},{},{},{},{}", r.rp.0, r.pos.x, r.pos.y, r.time.hours(), r.ci);
+}
+
+/// Serializes a dataset to CSV. Lossless: see the module docs.
 #[must_use]
 pub fn to_csv(ds: &FingerprintDataset) -> String {
     let mut out = String::new();
@@ -48,20 +69,26 @@ pub fn to_csv(ds: &FingerprintDataset) -> String {
     }
     out.push_str("rp,x,y,time_h,ci\n");
     for r in ds.records() {
-        for v in &r.rssi {
-            let _ = write!(out, "{v},");
-        }
-        let _ = writeln!(
-            out,
-            "{},{:.4},{:.4},{:.4},{}",
-            r.rp.0,
-            r.pos.x,
-            r.pos.y,
-            r.time.hours(),
-            r.ci
-        );
+        write_record(&mut out, r);
+        out.push('\n');
     }
     out
+}
+
+/// Parses the shared `rp,x,y,time_h,ci` tail of a data row into a
+/// [`Fingerprint`]; `fields` must hold exactly `ap_count` RSSI columns
+/// before the tail (the caller has already validated the length).
+fn parse_record(fields: &[&str], ap_count: usize, row: usize) -> Result<Fingerprint, CsvError> {
+    let parse_f = |s: &str| s.trim().parse::<f64>().map_err(|_| CsvError::BadRow { row });
+    let mut rssi = Vec::with_capacity(ap_count);
+    for f in &fields[..ap_count] {
+        rssi.push(parse_f(f)? as f32);
+    }
+    let rp = RpId(fields[ap_count].trim().parse::<u32>().map_err(|_| CsvError::BadRow { row })?);
+    let pos = Point2::new(parse_f(fields[ap_count + 1])?, parse_f(fields[ap_count + 2])?);
+    let time = SimTime::from_hours(parse_f(fields[ap_count + 3])?);
+    let ci = fields[ap_count + 4].trim().parse::<usize>().map_err(|_| CsvError::BadRow { row })?;
+    Ok(Fingerprint { rssi, rp, pos, time, ci })
 }
 
 /// Parses a dataset from CSV produced by [`to_csv`].
@@ -92,21 +119,11 @@ pub fn from_csv(name: &str, text: &str) -> Result<FingerprintDataset, CsvError> 
         if fields.len() != ap_count + 5 {
             return Err(CsvError::BadRow { row });
         }
-        let parse_f = |s: &str| s.trim().parse::<f64>().map_err(|_| CsvError::BadRow { row });
-        let mut rssi = Vec::with_capacity(ap_count);
-        for f in &fields[..ap_count] {
-            rssi.push(parse_f(f)? as f32);
+        let fp = parse_record(&fields, ap_count, row)?;
+        if !rps.iter().any(|r| r.id == fp.rp) {
+            rps.push(ReferencePoint { id: fp.rp, pos: fp.pos });
         }
-        let rp =
-            RpId(fields[ap_count].trim().parse::<u32>().map_err(|_| CsvError::BadRow { row })?);
-        let pos = Point2::new(parse_f(fields[ap_count + 1])?, parse_f(fields[ap_count + 2])?);
-        let time = SimTime::from_hours(parse_f(fields[ap_count + 3])?);
-        let ci =
-            fields[ap_count + 4].trim().parse::<usize>().map_err(|_| CsvError::BadRow { row })?;
-        if !rps.iter().any(|r| r.id == rp) {
-            rps.push(ReferencePoint { id: rp, pos });
-        }
-        records.push(Fingerprint { rssi, rp, pos, time, ci });
+        records.push(fp);
     }
 
     let mut ds = FingerprintDataset::new(name, ap_count, rps);
@@ -116,25 +133,128 @@ pub fn from_csv(name: &str, text: &str) -> Result<FingerprintDataset, CsvError> 
     Ok(ds)
 }
 
+/// Serializes one evaluation bucket to CSV: a metadata prologue
+/// (`bucket,<label>,<ci>,<time_h>`), then the dataset header with a
+/// trailing `traj` column, then one row per scan tagged with its
+/// trajectory index. Lossless, like [`to_csv`].
+///
+/// # Panics
+///
+/// Panics when a scan's RSSI length differs from `ap_count` — failing at
+/// write time, not when the spilled file is read back and the in-memory
+/// bucket may be gone.
+#[must_use]
+pub fn bucket_to_csv(bucket: &EvalBucket, ap_count: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "bucket,{},{},{}", bucket.label, bucket.ci, bucket.time.hours());
+    for i in 0..ap_count {
+        let _ = write!(out, "ap{i:03},");
+    }
+    out.push_str("rp,x,y,time_h,ci,traj\n");
+    for (ti, traj) in bucket.trajectories.iter().enumerate() {
+        for r in &traj.fingerprints {
+            assert_eq!(r.rssi.len(), ap_count, "bucket scan AP-universe mismatch");
+            write_record(&mut out, r);
+            let _ = writeln!(out, ",{ti}");
+        }
+    }
+    out
+}
+
+/// Parses an evaluation bucket from CSV produced by [`bucket_to_csv`].
+/// Scans with the same `traj` tag are regrouped, in row order, into the
+/// bucket's trajectories.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] on a malformed prologue, header or row.
+pub fn bucket_from_csv(text: &str) -> Result<EvalBucket, CsvError> {
+    let mut lines = text.lines();
+    let meta: Vec<&str> = lines.next().ok_or(CsvError::BadBucketMeta)?.split(',').collect();
+    if meta.len() != 4 || meta[0] != "bucket" {
+        return Err(CsvError::BadBucketMeta);
+    }
+    let label = meta[1].to_string();
+    let ci: usize = meta[2].trim().parse().map_err(|_| CsvError::BadBucketMeta)?;
+    let time_h: f64 = meta[3].trim().parse().map_err(|_| CsvError::BadBucketMeta)?;
+
+    let header = lines.next().ok_or(CsvError::BadHeader)?;
+    let cols: Vec<&str> = header.split(',').collect();
+    if cols.len() < 7 || cols[cols.len() - 6..] != ["rp", "x", "y", "time_h", "ci", "traj"] {
+        return Err(CsvError::BadHeader);
+    }
+    let ap_count = cols.len() - 6;
+
+    let mut trajectories: Vec<Trajectory> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row = i + 1;
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != ap_count + 6 {
+            return Err(CsvError::BadRow { row });
+        }
+        let fp = parse_record(&fields[..ap_count + 5], ap_count, row)?;
+        let ti: usize =
+            fields[ap_count + 5].trim().parse().map_err(|_| CsvError::BadRow { row })?;
+        // Trajectory tags must appear in order without gaps (the writer
+        // emits them grouped 0, 1, 2, ...); a skipped index would silently
+        // fabricate an empty trajectory no writer ever produces.
+        if ti > trajectories.len() {
+            return Err(CsvError::BadRow { row });
+        }
+        if ti == trajectories.len() {
+            trajectories.push(Trajectory::default());
+        }
+        trajectories[ti].fingerprints.push(fp);
+    }
+
+    Ok(EvalBucket { label, ci, time: SimTime::from_hours(time_h), trajectories })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::suites::{office_suite, SuiteConfig};
+    use crate::suites::{office_plan, office_suite, SuiteConfig};
 
     #[test]
-    fn roundtrip_preserves_dataset() {
+    fn roundtrip_reproduces_dataset_exactly() {
         let suite = office_suite(&SuiteConfig::tiny(1));
         let csv = to_csv(&suite.train);
         let back = from_csv("roundtrip", &csv).unwrap();
         assert_eq!(back.ap_count(), suite.train.ap_count());
-        assert_eq!(back.len(), suite.train.len());
-        for (a, b) in back.records().iter().zip(suite.train.records()) {
-            assert_eq!(a.rp, b.rp);
-            assert_eq!(a.ci, b.ci);
-            assert_eq!(a.rssi, b.rssi);
-            assert!((a.pos.x - b.pos.x).abs() < 1e-3);
-            assert!((a.time.hours() - b.time.hours()).abs() < 1e-3);
-        }
+        // Full-precision serialization: records must be bit-identical, not
+        // merely close — `{:.4}` truncation silently moved positions.
+        assert_eq!(back.records(), suite.train.records());
+        assert_eq!(back.rps(), suite.train.rps());
+    }
+
+    #[test]
+    fn roundtrip_preserves_awkward_floats() {
+        // Values with no short decimal representation must survive exactly.
+        let rps = vec![ReferencePoint { id: RpId(0), pos: Point2::new(1.0 / 3.0, 2.0_f64.sqrt()) }];
+        let mut ds = FingerprintDataset::new("awkward", 2, rps.clone());
+        ds.push(Fingerprint {
+            rssi: vec![-63.123_456_f32, -0.000_012_3_f32],
+            rp: RpId(0),
+            pos: rps[0].pos,
+            time: SimTime::from_hours(1e-7),
+            ci: 3,
+        });
+        let back = from_csv("awkward", &to_csv(&ds)).unwrap();
+        assert_eq!(back.records(), ds.records());
+        assert_eq!(back.rps(), ds.rps());
+    }
+
+    #[test]
+    fn bucket_roundtrip_reproduces_bucket_exactly() {
+        let cfg = SuiteConfig { trajectories_per_bucket: 2, ..SuiteConfig::tiny(5) };
+        let plan = office_plan(&cfg);
+        let bucket = plan.bucket(7);
+        let csv = bucket_to_csv(&bucket, plan.env().ap_count());
+        let back = bucket_from_csv(&csv).unwrap();
+        assert_eq!(back, bucket);
     }
 
     #[test]
@@ -149,6 +269,37 @@ mod tests {
         assert_eq!(from_csv("x", text).unwrap_err(), CsvError::BadRow { row: 1 });
         let text2 = "ap000,rp,x,y,time_h,ci\n-40.0,zz,0.0,0.0,1.0,0\n";
         assert_eq!(from_csv("x", text2).unwrap_err(), CsvError::BadRow { row: 1 });
+    }
+
+    #[test]
+    fn rejects_bad_bucket_prologue() {
+        assert_eq!(bucket_from_csv("").unwrap_err(), CsvError::BadBucketMeta);
+        assert_eq!(bucket_from_csv("dataset,CI01,1,8\n").unwrap_err(), CsvError::BadBucketMeta);
+        assert_eq!(bucket_from_csv("bucket,CI01,one,8\n").unwrap_err(), CsvError::BadBucketMeta);
+        // Valid prologue but dataset-style header (missing traj column).
+        assert_eq!(
+            bucket_from_csv("bucket,CI01,1,8\nap000,rp,x,y,time_h,ci\n").unwrap_err(),
+            CsvError::BadHeader
+        );
+    }
+
+    #[test]
+    fn rejects_gapped_trajectory_tags() {
+        // traj jumps 0 -> 2: no writer produces that; accepting it would
+        // fabricate a phantom empty trajectory at index 1.
+        let text = "bucket,CI01,1,8\n\
+                    ap000,rp,x,y,time_h,ci,traj\n\
+                    -40,0,0.5,1,8,1,0\n\
+                    -41,0,0.5,1,8,1,2\n";
+        assert_eq!(bucket_from_csv(text).unwrap_err(), CsvError::BadRow { row: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "AP-universe mismatch")]
+    fn bucket_writer_rejects_wrong_ap_count() {
+        let plan = office_plan(&SuiteConfig::tiny(5));
+        let bucket = plan.bucket(0);
+        let _ = bucket_to_csv(&bucket, plan.env().ap_count() + 1);
     }
 
     #[test]

@@ -1,9 +1,32 @@
 //! Long-term evaluation suites mirroring the paper's three test venues and
 //! collection timelines (Sec. V.A, Fig. 3).
+//!
+//! # Sharded generation
+//!
+//! Suite construction is *sharded*: every independently generatable unit —
+//! each reference point's offline survey, each evaluation bucket — draws
+//! from its own RNG stream, derived purely from `(master seed, unit
+//! identity)` via [`stone_radio::derive_stream_seed`]. No RNG state is
+//! threaded between units, so:
+//!
+//! * units can be generated on any thread, in any order, with
+//!   **bitwise-identical** output at any `STONE_THREADS` value (pinned by
+//!   `tests/parallel_determinism.rs`);
+//! * a single bucket can be materialized **on demand** without generating
+//!   the ones before it ([`SuitePlan::bucket`]), which is what makes the
+//!   streaming API ([`SuitePlan::buckets_iter`], [`SuitePlan::spill_buckets`])
+//!   possible: paper-scale sweeps no longer hold the whole timeline
+//!   resident.
+//!
+//! [`uji_suite`]/[`office_suite`]/[`basement_suite`] remain the one-call
+//! materializing builders; they are now thin wrappers over
+//! [`uji_plan`]/[`office_plan`]/[`basement_plan`] + [`SuitePlan::build`].
+
+use std::path::{Path, PathBuf};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use stone_radio::{presets, ApSchedule, Point2, RadioEnvironment, SimTime};
+use stone_radio::{derive_stream_seed, presets, ApSchedule, Point2, RadioEnvironment, SimTime};
 
 use crate::dataset::FingerprintDataset;
 use crate::types::{Fingerprint, ReferencePoint, RpId, Trajectory, MISSING_RSSI_DBM};
@@ -17,6 +40,18 @@ pub enum SuiteKind {
     Office,
     /// Basement corridor path, CI 0–15 over ≈8 months.
     Basement,
+}
+
+impl SuiteKind {
+    /// Stable venue tag folded into every RNG stream of the suite, so the
+    /// same master seed yields unrelated streams across venues.
+    fn venue_tag(self) -> u64 {
+        match self {
+            SuiteKind::Uji => 0,
+            SuiteKind::Office => 1,
+            SuiteKind::Basement => 2,
+        }
+    }
 }
 
 impl std::fmt::Display for SuiteKind {
@@ -74,7 +109,7 @@ impl Default for SuiteConfig {
 
 /// One evaluation time bucket: a month (UJI) or collection instance
 /// (Office/Basement) with its test trajectories.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalBucket {
     /// Display label ("M03", "CI07", ...).
     pub label: String,
@@ -145,35 +180,49 @@ impl LongTermSuite {
     }
 }
 
+/// RNG-stream domains. The stream tag of a generation unit is
+/// `(domain << 56) | (venue << 48) | unit index`, which is collision-free
+/// by construction (indices are far below 2⁴⁸).
+const DOMAIN_SETUP: u64 = 1;
+const DOMAIN_SURVEY: u64 = 2;
+const DOMAIN_BUCKET: u64 = 3;
+
+/// The RNG of one generation unit: a pure function of the master seed and
+/// the unit's identity, never of scheduling or of other units.
+fn stream_rng(seed: u64, domain: u64, kind: SuiteKind, index: u64) -> StdRng {
+    debug_assert!(index < 1 << 48, "unit index overflows the stream tag");
+    let tag = (domain << 56) | (kind.venue_tag() << 48) | index;
+    StdRng::seed_from_u64(derive_stream_seed(seed, tag))
+}
+
 /// Scans the environment at `pos`/`t` into a dense RSSI vector with -100 for
 /// missing APs.
 fn scan_vector(env: &RadioEnvironment, pos: Point2, t: SimTime, rng: &mut StdRng) -> Vec<f32> {
     env.scan(pos, t, rng).into_iter().map(|v| v.map_or(MISSING_RSSI_DBM, |x| x as f32)).collect()
 }
 
-/// Collects `fpr` stationary fingerprints at every RP (the offline survey).
-fn collect_training(
+/// Collects `fpr` stationary fingerprints at one RP (its shard of the
+/// offline survey).
+fn survey_rp(
     env: &RadioEnvironment,
-    rps: &[ReferencePoint],
+    rp: &ReferencePoint,
     t: SimTime,
     fpr: usize,
     rng: &mut StdRng,
 ) -> Vec<Fingerprint> {
-    let mut out = Vec::with_capacity(rps.len() * fpr);
-    for rp in rps {
-        for k in 0..fpr {
+    (0..fpr)
+        .map(|k| {
             // Paper: 6 fingerprints per RP within a 30 s window.
             let t_k = t.plus_hours(k as f64 * 5.0 / 3600.0);
-            out.push(Fingerprint {
+            Fingerprint {
                 rssi: scan_vector(env, rp.pos, t_k, rng),
                 rp: rp.id,
                 pos: rp.pos,
                 time: t_k,
                 ci: 0,
-            });
-        }
-    }
-    out
+            }
+        })
+        .collect()
 }
 
 /// Walks the RP sequence (forward or reversed), scanning at each RP; the
@@ -205,29 +254,6 @@ fn walk_trajectory(
     Trajectory::new(fps)
 }
 
-fn make_buckets(
-    env: &RadioEnvironment,
-    rps: &[ReferencePoint],
-    timeline: &[(String, usize, SimTime)],
-    trajectories_per_bucket: usize,
-    rng: &mut StdRng,
-) -> Vec<EvalBucket> {
-    timeline
-        .iter()
-        .map(|(label, ci, time)| {
-            let trajectories = (0..trajectories_per_bucket.max(1))
-                .map(|k| {
-                    // Stagger walk start times by 2 min and alternate
-                    // direction so buckets aren't a single snapshot.
-                    let t = time.plus_hours(k as f64 * 2.0 / 60.0);
-                    walk_trajectory(env, rps, t, *ci, k % 2 == 1, rng)
-                })
-                .collect();
-            EvalBucket { label: label.clone(), ci: *ci, time: *time, trajectories }
-        })
-        .collect()
-}
-
 /// Serpentine ordering of a grid of RPs (row by row, alternating direction)
 /// so UJI trajectories are physically contiguous walks.
 fn serpentine(cols: usize, rps: Vec<ReferencePoint>) -> Vec<ReferencePoint> {
@@ -242,13 +268,168 @@ fn serpentine(cols: usize, rps: Vec<ReferencePoint>) -> Vec<ReferencePoint> {
     out
 }
 
-/// Builds the UJI-like suite: RP grid in an open hall, training on day 0
+/// A fully-specified suite whose data has **not** been generated yet: the
+/// environment, RP path, collection timeline and seed — everything needed to
+/// materialize any unit of the suite independently of the others.
+///
+/// The plan is the sharding boundary. [`SuitePlan::build`] materializes
+/// everything (buckets in parallel); [`SuitePlan::bucket`] materializes one
+/// bucket on demand; [`SuitePlan::buckets_iter`] streams buckets one at a
+/// time so only a single bucket is ever resident; and
+/// [`SuitePlan::spill_buckets`] streams them straight to CSV files on disk.
+///
+/// # Example
+///
+/// ```
+/// use stone_dataset::{office_plan, SuiteConfig};
+///
+/// let plan = office_plan(&SuiteConfig::tiny(7));
+/// assert_eq!(plan.bucket_count(), 16); // CI 0..=15
+/// // Materialize only the last bucket — no other bucket is generated.
+/// let last = plan.bucket(15);
+/// assert_eq!(last.label, "CI15");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SuitePlan {
+    kind: SuiteKind,
+    name: String,
+    env: RadioEnvironment,
+    rps: Vec<ReferencePoint>,
+    /// Offline-survey collection time.
+    train_t0: SimTime,
+    /// Resolved fingerprints-per-RP of the offline survey.
+    train_fpr: usize,
+    /// Evaluation timeline: `(label, ci, walk start time)` per bucket.
+    timeline: Vec<(String, usize, SimTime)>,
+    trajectories_per_bucket: usize,
+    seed: u64,
+}
+
+impl SuitePlan {
+    /// Venue kind.
+    #[must_use]
+    pub fn kind(&self) -> SuiteKind {
+        self.kind
+    }
+
+    /// Human-readable suite name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The simulated radio environment (already carrying its AP schedule).
+    #[must_use]
+    pub fn env(&self) -> &RadioEnvironment {
+        &self.env
+    }
+
+    /// The reference points of the suite's path, in walk order.
+    #[must_use]
+    pub fn rps(&self) -> &[ReferencePoint] {
+        &self.rps
+    }
+
+    /// Number of evaluation buckets in the timeline.
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.timeline.len()
+    }
+
+    /// Materializes the offline training set. Each RP's stationary survey
+    /// is an independent generation unit (its RNG stream is tagged by the
+    /// RP id), fanned out over `STONE_THREADS` threads; output is
+    /// bitwise-identical at any thread count.
+    #[must_use]
+    pub fn train(&self) -> FingerprintDataset {
+        let per_rp: Vec<Vec<Fingerprint>> = stone_par::par_map(&self.rps, |_, rp| {
+            let mut rng = stream_rng(self.seed, DOMAIN_SURVEY, self.kind, u64::from(rp.id.0));
+            survey_rp(&self.env, rp, self.train_t0, self.train_fpr, &mut rng)
+        });
+        let mut train = FingerprintDataset::new(
+            format!("{}-train", self.name.to_lowercase()),
+            self.env.ap_count(),
+            self.rps.clone(),
+        );
+        for fp in per_rp.into_iter().flatten() {
+            train.push(fp);
+        }
+        train
+    }
+
+    /// Materializes evaluation bucket `i` — a pure function of
+    /// `(plan, i)`: the bucket's RNG stream is tagged by its CI index, so
+    /// no other bucket needs to exist for this one to be exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range of the timeline.
+    #[must_use]
+    pub fn bucket(&self, i: usize) -> EvalBucket {
+        let (label, ci, time) = &self.timeline[i];
+        let mut rng = stream_rng(self.seed, DOMAIN_BUCKET, self.kind, *ci as u64);
+        let trajectories = (0..self.trajectories_per_bucket.max(1))
+            .map(|k| {
+                // Stagger walk start times by 2 min and alternate
+                // direction so buckets aren't a single snapshot.
+                let t = time.plus_hours(k as f64 * 2.0 / 60.0);
+                walk_trajectory(&self.env, &self.rps, t, *ci, k % 2 == 1, &mut rng)
+            })
+            .collect();
+        EvalBucket { label: label.clone(), ci: *ci, time: *time, trajectories }
+    }
+
+    /// Streams the evaluation buckets in chronological order, materializing
+    /// each on demand: only the bucket currently yielded is resident. A
+    /// streamed bucket is bitwise-identical to its [`SuitePlan::build`]
+    /// twin.
+    pub fn buckets_iter(&self) -> impl Iterator<Item = EvalBucket> + '_ {
+        (0..self.bucket_count()).map(|i| self.bucket(i))
+    }
+
+    /// Streams every bucket to `dir` as one CSV file per bucket (named
+    /// `<suite>_<label>.csv`, format of [`crate::io::bucket_to_csv`]),
+    /// returning the written paths in timeline order. At most one bucket is
+    /// resident at a time — the disk-spill path for paper-scale sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating `dir` or writing a file.
+    pub fn spill_buckets(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(dir)?;
+        let mut paths = Vec::with_capacity(self.bucket_count());
+        for bucket in self.buckets_iter() {
+            let path = dir.join(format!("{}_{}.csv", self.name.to_lowercase(), bucket.label));
+            std::fs::write(&path, crate::io::bucket_to_csv(&bucket, self.env.ap_count()))?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+
+    /// Materializes the whole suite: the offline survey (sharded per RP)
+    /// and every evaluation bucket, buckets fanned out over
+    /// `STONE_THREADS` threads. Bitwise-identical at any thread count.
+    #[must_use]
+    pub fn build(&self) -> LongTermSuite {
+        let train = self.train();
+        let buckets = stone_par::par_map(&self.timeline, |i, _| self.bucket(i));
+        LongTermSuite {
+            kind: self.kind,
+            name: self.name.clone(),
+            env: self.env.clone(),
+            train,
+            buckets,
+        }
+    }
+}
+
+/// Plans the UJI-like suite: RP grid in an open hall, training on day 0
 /// (up to 9 FPR), 15 monthly evaluation buckets, ~50% AP removal at month
 /// 11 (Sec. V.A.1, V.B).
 #[must_use]
-pub fn uji_suite(cfg: &SuiteConfig) -> LongTermSuite {
+pub fn uji_plan(cfg: &SuiteConfig) -> SuitePlan {
     let mut env = presets::uji_hall_environment(cfg.seed);
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0055_17E0);
+    let mut rng = stream_rng(cfg.seed, DOMAIN_SETUP, SuiteKind::Uji, 0);
 
     // 7 × 7 grid, 4 m pitch, inside the hall.
     let cols = 7usize;
@@ -276,19 +457,27 @@ pub fn uji_suite(cfg: &SuiteConfig) -> LongTermSuite {
     );
     env.set_schedule(schedule);
 
-    let fpr = cfg.train_fpr.unwrap_or(9);
-    let t0 = SimTime::from_hours(10.0);
-    let mut train = FingerprintDataset::new("uji-train", env.ap_count(), rps.clone());
-    for fp in collect_training(&env, &rps, t0, fpr, &mut rng) {
-        train.push(fp);
-    }
-
     let timeline: Vec<(String, usize, SimTime)> = (1..=15)
         .map(|m| (format!("M{m:02}"), m, SimTime::from_months(m as f64).plus_hours(10.0)))
         .collect();
-    let buckets = make_buckets(&env, &rps, &timeline, cfg.trajectories_per_bucket, &mut rng);
 
-    LongTermSuite { kind: SuiteKind::Uji, name: "UJI".into(), env, train, buckets }
+    SuitePlan {
+        kind: SuiteKind::Uji,
+        name: "UJI".into(),
+        env,
+        rps,
+        train_t0: SimTime::from_hours(10.0),
+        train_fpr: cfg.train_fpr.unwrap_or(9),
+        timeline,
+        trajectories_per_bucket: cfg.trajectories_per_bucket,
+        seed: cfg.seed,
+    }
+}
+
+/// Builds the UJI-like suite (see [`uji_plan`]).
+#[must_use]
+pub fn uji_suite(cfg: &SuiteConfig) -> LongTermSuite {
+    uji_plan(cfg).build()
 }
 
 /// The Office/Basement CI timeline (Sec. V.A.2): CI 0–2 on day 0 at
@@ -308,13 +497,13 @@ fn ci_timeline() -> Vec<(String, usize, SimTime)> {
         .collect()
 }
 
-fn corridor_suite(
+fn corridor_plan(
     kind: SuiteKind,
     mut env: RadioEnvironment,
     length_m: f64,
     cfg: &SuiteConfig,
-) -> LongTermSuite {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC012_1D02);
+) -> SuitePlan {
+    let mut rng = stream_rng(cfg.seed, DOMAIN_SETUP, kind, 0);
 
     // RPs every 1 m along the corridor centerline (paper: measurements 1 m
     // apart), thinned by `rp_stride` for tiny configs.
@@ -333,36 +522,50 @@ fn corridor_suite(
     schedule.add_scattered_replacements(&ap_ids, 0.05, ci11, timeline[15].2, &mut rng);
     env.set_schedule(schedule);
 
-    // Training: a subset of CI 0 (early morning).
-    let fpr = cfg.train_fpr.unwrap_or(6);
-    let t0 = timeline[0].2;
-    let name = format!("{kind}");
-    let mut train = FingerprintDataset::new(format!("{name}-train"), env.ap_count(), rps.clone());
-    for fp in collect_training(&env, &rps, t0, fpr, &mut rng) {
-        train.push(fp);
-    }
-
-    // Evaluation walks start half an hour after the stationary survey so the
-    // CI 0 bucket tests *unseen* fingerprints from the same instance.
+    // Training: a subset of CI 0 (early morning). Evaluation walks start
+    // half an hour after the stationary survey so the CI 0 bucket tests
+    // *unseen* fingerprints from the same instance.
+    let train_t0 = timeline[0].2;
     let eval_timeline: Vec<(String, usize, SimTime)> =
         timeline.iter().map(|(l, ci, t)| (l.clone(), *ci, t.plus_hours(0.5))).collect();
-    let buckets = make_buckets(&env, &rps, &eval_timeline, cfg.trajectories_per_bucket, &mut rng);
 
-    LongTermSuite { kind, name, env, train, buckets }
+    SuitePlan {
+        kind,
+        name: format!("{kind}"),
+        env,
+        rps,
+        train_t0,
+        train_fpr: cfg.train_fpr.unwrap_or(6),
+        timeline: eval_timeline,
+        trajectories_per_bucket: cfg.trajectories_per_bucket,
+        seed: cfg.seed,
+    }
 }
 
-/// Builds the Office-like suite: a 48 m corridor with drywall offices,
+/// Plans the Office-like suite: a 48 m corridor with drywall offices,
 /// CI 0–15 timeline, ~20% AP removal after CI 11.
+#[must_use]
+pub fn office_plan(cfg: &SuiteConfig) -> SuitePlan {
+    corridor_plan(SuiteKind::Office, presets::office_environment(cfg.seed), 48.0, cfg)
+}
+
+/// Builds the Office-like suite (see [`office_plan`]).
 #[must_use]
 pub fn office_suite(cfg: &SuiteConfig) -> LongTermSuite {
-    corridor_suite(SuiteKind::Office, presets::office_environment(cfg.seed), 48.0, cfg)
+    office_plan(cfg).build()
 }
 
-/// Builds the Basement-like suite: a 61 m corridor through metal-heavy labs,
+/// Plans the Basement-like suite: a 61 m corridor through metal-heavy labs,
 /// CI 0–15 timeline, ~20% AP removal after CI 11.
 #[must_use]
+pub fn basement_plan(cfg: &SuiteConfig) -> SuitePlan {
+    corridor_plan(SuiteKind::Basement, presets::basement_environment(cfg.seed), 61.0, cfg)
+}
+
+/// Builds the Basement-like suite (see [`basement_plan`]).
+#[must_use]
 pub fn basement_suite(cfg: &SuiteConfig) -> LongTermSuite {
-    corridor_suite(SuiteKind::Basement, presets::basement_environment(cfg.seed), 61.0, cfg)
+    basement_plan(cfg).build()
 }
 
 #[cfg(test)]
@@ -465,6 +668,48 @@ mod tests {
             a.buckets[5].trajectories[0].fingerprints,
             b.buckets[5].trajectories[0].fingerprints
         );
+    }
+
+    #[test]
+    fn on_demand_bucket_equals_built_bucket() {
+        // A bucket is a pure function of (plan, index): materializing
+        // bucket 12 alone must reproduce the fully-built suite's bucket 12.
+        let cfg = SuiteConfig::tiny(10);
+        let plan = office_plan(&cfg);
+        let suite = plan.build();
+        assert_eq!(plan.bucket(12), suite.buckets[12]);
+        assert_eq!(plan.bucket(0), suite.buckets[0]);
+    }
+
+    #[test]
+    fn streamed_buckets_match_built_suite() {
+        let cfg = SuiteConfig::tiny(11);
+        let plan = uji_plan(&cfg);
+        let suite = plan.build();
+        let streamed: Vec<EvalBucket> = plan.buckets_iter().collect();
+        assert_eq!(streamed, suite.buckets);
+        assert_eq!(plan.train().records(), suite.train.records());
+    }
+
+    #[test]
+    fn plan_exposes_suite_shape() {
+        let plan = basement_plan(&SuiteConfig::tiny(12));
+        assert_eq!(plan.kind(), SuiteKind::Basement);
+        assert_eq!(plan.name(), "Basement");
+        assert_eq!(plan.bucket_count(), 16);
+        assert_eq!(plan.rps().len(), plan.build().train.rps().len());
+        assert_eq!(plan.env().ap_count(), plan.build().train.ap_count());
+    }
+
+    #[test]
+    fn buckets_use_independent_rng_streams() {
+        // Regenerating bucket 5 must not depend on whether buckets 0..5
+        // were generated first — pin that by comparing against a fresh plan
+        // that only ever touches bucket 5.
+        let cfg = SuiteConfig::tiny(13);
+        let all: Vec<EvalBucket> = office_plan(&cfg).buckets_iter().collect();
+        let only_five = office_plan(&cfg).bucket(5);
+        assert_eq!(only_five, all[5]);
     }
 
     #[test]

@@ -57,14 +57,12 @@ proptest! {
     }
 
     #[test]
-    fn csv_roundtrip_is_lossless_for_rssi(seed in 0u64..30) {
+    fn csv_roundtrip_is_lossless(seed in 0u64..30) {
         let suite = office_suite(&SuiteConfig::tiny(seed));
         let back = io::from_csv("p", &io::to_csv(&suite.train)).unwrap();
-        for (a, b) in back.records().iter().zip(suite.train.records()) {
-            prop_assert_eq!(&a.rssi, &b.rssi);
-            prop_assert_eq!(a.rp, b.rp);
-            prop_assert_eq!(a.ci, b.ci);
-        }
+        // Bit-exact round trip: RSSI, labels, positions and timestamps.
+        prop_assert_eq!(back.records(), suite.train.records());
+        prop_assert_eq!(back.rps(), suite.train.rps());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt::Write as _;
 
-use stone_dataset::{Framework, LongTermSuite};
+use stone_dataset::{EvalBucket, Framework, Localizer, LongTermSuite, SuitePlan};
 use stone_radio::Point2;
 
 use crate::metrics::mean_error_m;
@@ -73,6 +73,10 @@ impl Experiment {
     /// one. Buckets within a task stay sequential: bucket `t` must be
     /// evaluated before the localizer may adapt on bucket `t`'s scans.
     ///
+    /// For paper-scale suites that should not be held resident, see
+    /// [`Experiment::run_streamed`], which produces an identical report
+    /// from a [`SuitePlan`] while materializing one bucket at a time.
+    ///
     /// # Panics
     ///
     /// Panics when the suite has no buckets or a bucket has no trajectories.
@@ -83,20 +87,85 @@ impl Experiment {
         ExperimentReport { suite: suite.name.clone(), bucket_labels: suite.bucket_labels(), series }
     }
 
+    /// Walks every framework through the suite's bucket timeline without
+    /// ever holding more than one bucket resident: buckets are materialized
+    /// on demand from the plan's per-bucket RNG streams and dropped as soon
+    /// as every framework has been evaluated (and offered adaptation data)
+    /// on them.
+    ///
+    /// The report is **identical** to [`Experiment::run`] on the
+    /// materialized suite (`plan.build()`): bucket bytes are the same
+    /// (sharded generation is scheduling-independent), training uses the
+    /// same `fit(train, seed)` calls, and buckets are visited in the same
+    /// chronological order. The trade is concurrency shape, not results:
+    /// the streamed walk evaluates frameworks bucket-by-bucket on one
+    /// thread (inner paths — batched embedding, the KNN sweep — still
+    /// parallelize), where `run` parallelizes across frameworks but needs
+    /// the full timeline in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan has no buckets or a bucket has no trajectories.
+    #[must_use]
+    pub fn run_streamed(
+        &self,
+        plan: &SuitePlan,
+        frameworks: &[&dyn Framework],
+    ) -> ExperimentReport {
+        assert!(plan.bucket_count() > 0, "suite plan has no evaluation buckets");
+        let train = plan.train();
+        let mut locs: Vec<Box<dyn Localizer>> =
+            frameworks.iter().map(|fw| fw.fit(&train, self.seed)).collect();
+        drop(train);
+        let mut errors: Vec<Vec<f64>> =
+            vec![Vec::with_capacity(plan.bucket_count()); frameworks.len()];
+        let mut bucket_labels = Vec::with_capacity(plan.bucket_count());
+        for bucket in plan.buckets_iter() {
+            bucket_labels.push(bucket.label.clone());
+            let scans = bucket.raw_scans();
+            for (loc, errs) in locs.iter_mut().zip(&mut errors) {
+                errs.push(Self::evaluate_bucket(loc.as_mut(), &bucket));
+                // Offer this bucket's unlabeled scans for refitting before
+                // the next bucket (LT-KNN's monthly recalibration).
+                loc.adapt(&scans);
+            }
+        }
+        let series = frameworks
+            .iter()
+            .zip(locs)
+            .zip(errors)
+            .map(|((fw, loc), mean_errors_m)| SeriesResult {
+                framework: fw.name().to_string(),
+                mean_errors_m,
+                requires_retraining: loc.requires_retraining(),
+            })
+            .collect();
+        ExperimentReport { suite: plan.name().to_string(), bucket_labels, series }
+    }
+
+    /// Localizes every scan of one bucket and returns the mean error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bucket has no test points.
+    fn evaluate_bucket(loc: &mut dyn Localizer, bucket: &EvalBucket) -> f64 {
+        let mut preds: Vec<Point2> = Vec::new();
+        let mut truths: Vec<Point2> = Vec::new();
+        for traj in &bucket.trajectories {
+            preds.extend(loc.locate_trajectory(traj));
+            truths.extend(traj.fingerprints.iter().map(|f| f.pos));
+        }
+        assert!(!preds.is_empty(), "bucket {} has no test points", bucket.label);
+        mean_error_m(&preds, &truths)
+    }
+
     /// Trains one framework and walks it through the bucket timeline — the
     /// body of one parallel evaluation task.
     fn evaluate_one(&self, suite: &LongTermSuite, fw: &dyn Framework) -> SeriesResult {
         let mut loc = fw.fit(&suite.train, self.seed);
         let mut errors = Vec::with_capacity(suite.buckets.len());
         for bucket in &suite.buckets {
-            let mut preds: Vec<Point2> = Vec::new();
-            let mut truths: Vec<Point2> = Vec::new();
-            for traj in &bucket.trajectories {
-                preds.extend(loc.locate_trajectory(traj));
-                truths.extend(traj.fingerprints.iter().map(|f| f.pos));
-            }
-            assert!(!preds.is_empty(), "bucket {} has no test points", bucket.label);
-            errors.push(mean_error_m(&preds, &truths));
+            errors.push(Self::evaluate_bucket(loc.as_mut(), bucket));
             // Offer this bucket's unlabeled scans for refitting before
             // the next bucket (LT-KNN's monthly recalibration).
             loc.adapt(&bucket.raw_scans());

@@ -2,7 +2,7 @@
 //! frameworks.
 
 use stone_baselines::{KnnBuilder, LtKnnBuilder};
-use stone_dataset::{office_suite, Framework, SuiteConfig};
+use stone_dataset::{office_plan, office_suite, Framework, SuiteConfig};
 use stone_eval::Experiment;
 
 #[test]
@@ -37,6 +37,22 @@ fn adaptation_happens_after_evaluation_not_before() {
         a[0],
         b[0]
     );
+}
+
+#[test]
+fn streamed_run_equals_materialized_run() {
+    // The streaming path (one bucket resident at a time) must produce a
+    // report identical to the materialized path — same bucket bytes, same
+    // fit calls, same adaptation order. Includes an adapting framework so
+    // the bucket-by-bucket adapt interleaving is exercised.
+    let cfg = SuiteConfig::tiny(54);
+    let knn = KnnBuilder::default();
+    let lt = LtKnnBuilder::default();
+    let frameworks: Vec<&dyn Framework> = vec![&knn, &lt];
+    let materialized = Experiment::new(54).run(&office_plan(&cfg).build(), &frameworks);
+    let streamed = Experiment::new(54).run_streamed(&office_plan(&cfg), &frameworks);
+    assert_eq!(streamed, materialized);
+    assert_eq!(streamed.to_csv(), materialized.to_csv());
 }
 
 #[test]

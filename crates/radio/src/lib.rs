@@ -50,6 +50,7 @@ mod geom;
 mod lifecycle;
 pub mod presets;
 mod render;
+mod seed;
 pub mod shadowing;
 mod temporal;
 mod time;
@@ -61,5 +62,6 @@ pub use floorplan::{Floorplan, Wall};
 pub use geom::{Point2, Rect, Segment};
 pub use lifecycle::{ApEvent, ApSchedule};
 pub use render::render_floorplan_ascii;
+pub use seed::derive_stream_seed;
 pub use temporal::TemporalModel;
 pub use time::SimTime;

@@ -12,7 +12,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stone::{StoneBuilder, StoneConfig, TrainerConfig};
 use stone_baselines::{KnnBuilder, LtKnnBuilder};
-use stone_dataset::{office_suite, Framework, Localizer, SuiteConfig};
+use stone_dataset::{
+    basement_plan, office_plan, office_suite, uji_plan, uji_suite, Framework, Localizer,
+    LongTermSuite, SuiteConfig, SuitePlan,
+};
 use stone_eval::{Experiment, ExperimentReport};
 use stone_par::with_threads;
 use stone_tensor::{matmul, matmul_a_bt, matmul_at_b, rng::uniform_tensor, Tensor};
@@ -115,6 +118,71 @@ fn locate_batch_matches_single_scan_locate() {
     let singles: Vec<_> = raws.iter().map(|r| loc.locate(r)).collect();
     assert_thread_invariant(|| loc.locate_batch(&raws));
     assert_eq!(loc.locate_batch(&raws), singles);
+}
+
+/// The comparable content of a suite: train records, bucket labels, and
+/// per-trajectory fingerprints.
+type SuiteBytes =
+    (Vec<stone_dataset::Fingerprint>, Vec<String>, Vec<Vec<Vec<stone_dataset::Fingerprint>>>);
+
+/// Every byte of a suite the frameworks consume. (`LongTermSuite` itself
+/// holds the simulator, which has no `PartialEq`.)
+fn suite_fingerprint(s: &LongTermSuite) -> SuiteBytes {
+    (
+        s.train.records().to_vec(),
+        s.bucket_labels(),
+        s.buckets
+            .iter()
+            .map(|b| b.trajectories.iter().map(|t| t.fingerprints.clone()).collect())
+            .collect(),
+    )
+}
+
+#[test]
+fn sharded_suite_generation_is_bitwise_identical_across_thread_counts() {
+    let _g = lock();
+    // Property over both suite families and two seeds each: the sharded
+    // generator (per-RP survey streams + per-bucket streams) must emit the
+    // same bytes at STONE_THREADS ∈ {1, 2, 8}.
+    type SuiteBuilder = Box<dyn Fn() -> LongTermSuite>;
+    for seed in [7, 91] {
+        let builders: [(&str, SuiteBuilder); 2] = [
+            ("uji", Box::new(move || uji_suite(&SuiteConfig::tiny(seed)))),
+            ("office", Box::new(move || office_suite(&SuiteConfig::tiny(seed)))),
+        ];
+        for (name, build) in builders {
+            let baseline = with_threads(1, || suite_fingerprint(&build()));
+            for nt in THREAD_COUNTS {
+                assert_eq!(
+                    with_threads(nt, || suite_fingerprint(&build())),
+                    baseline,
+                    "{name} seed {seed} diverged at {nt} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streamed_bucket_equals_materialized_twin_at_any_thread_count() {
+    let _g = lock();
+    let cfg = SuiteConfig::tiny(23);
+    let plans: [(&str, SuitePlan); 3] =
+        [("uji", uji_plan(&cfg)), ("office", office_plan(&cfg)), ("basement", basement_plan(&cfg))];
+    for (name, plan) in plans {
+        // Materialize in parallel; stream serially (and at 8 threads) —
+        // every bucket must be byte-identical either way.
+        let built = with_threads(8, || plan.build());
+        for nt in THREAD_COUNTS {
+            let streamed: Vec<_> = with_threads(nt, || plan.buckets_iter().collect());
+            assert_eq!(streamed, built.buckets, "{name} streamed diverged at {nt} threads");
+        }
+        assert_eq!(
+            with_threads(1, || plan.train().records().to_vec()),
+            built.train.records(),
+            "{name} survey diverged"
+        );
+    }
 }
 
 fn run_experiment(seed: u64) -> ExperimentReport {

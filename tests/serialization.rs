@@ -8,21 +8,37 @@ use stone_dataset::{io, office_suite, uji_suite, SuiteConfig};
 use stone_nn::{load_weights, save_weights};
 
 #[test]
-fn dataset_csv_roundtrip_all_suites() {
+fn dataset_csv_roundtrip_all_suites_is_exact() {
     for (name, train) in [
         ("office", office_suite(&SuiteConfig::tiny(1)).train),
         ("uji", uji_suite(&SuiteConfig::tiny(1)).train),
     ] {
         let csv = io::to_csv(&train);
         let back = io::from_csv(name, &csv).expect("roundtrip parses");
-        assert_eq!(back.len(), train.len(), "{name} record count");
         assert_eq!(back.ap_count(), train.ap_count(), "{name} ap count");
-        assert_eq!(back.rps().len(), train.rps().len(), "{name} rp count");
-        for (a, b) in back.records().iter().zip(train.records()) {
-            assert_eq!(a.rssi, b.rssi, "{name} rssi");
-            assert_eq!(a.rp, b.rp, "{name} rp label");
-        }
+        // Bit-exact: positions, timestamps and RSSI all use shortest
+        // round-trip float formatting, so nothing is truncated away.
+        assert_eq!(back.records(), train.records(), "{name} records");
+        assert_eq!(back.rps(), train.rps(), "{name} reference points");
     }
+}
+
+#[test]
+fn spilled_buckets_roundtrip_from_disk() {
+    // The streaming CSV-spill path: write every bucket of a plan to disk,
+    // read them back, and require byte-identity with the in-memory suite.
+    let cfg = SuiteConfig::tiny(8);
+    let plan = stone_dataset::office_plan(&cfg);
+    let dir = std::env::temp_dir().join(format!("stone-spill-{}", std::process::id()));
+    let paths = plan.spill_buckets(&dir).expect("spill writes");
+    let suite = plan.build();
+    assert_eq!(paths.len(), suite.buckets.len());
+    for (path, expect) in paths.iter().zip(&suite.buckets) {
+        let text = std::fs::read_to_string(path).expect("spilled file readable");
+        let bucket = io::bucket_from_csv(&text).expect("spilled bucket parses");
+        assert_eq!(&bucket, expect, "bucket {} diverged through disk", expect.label);
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
 #[test]
