@@ -3,12 +3,18 @@
 //! The paper's motivation (Sec. I) includes running the whole pipeline on a
 //! smartphone; these benches measure the per-scan inference cost of each
 //! component on this machine: preprocessing, encoder forward pass, KNN
-//! query, triplet selection and one full training step — plus the
-//! serial-vs-parallel pairs documented in `docs/PERFORMANCE.md` (large
-//! matmul at 1 thread vs. the `STONE_THREADS` budget, batch-1 vs.
-//! batch-32 embedding, and serial vs. sharded paper-scale UJI suite
-//! generation). On a single-core machine the paired entries should tie;
-//! the speedup appears with the core count.
+//! query, triplet selection and one full training step — plus two kinds
+//! of pairs documented in `docs/PERFORMANCE.md`:
+//!
+//! * **serial-vs-parallel** (large matmul at 1 thread vs. the
+//!   `STONE_THREADS` budget, batch-1 vs. batch-32 embedding, serial vs.
+//!   sharded paper-scale UJI suite generation) — on a single-core machine
+//!   these tie; the speedup appears with the core count;
+//! * **scalar-vs-tiled** (the PR 3 blocked kernels vs. the register-tiled
+//!   microkernels over encoder-shaped products: the serving-scale cube,
+//!   tall-skinny, ragged-remainder and fused-transpose shapes) — the
+//!   per-core speedup, visible even on one core. Set `STONE_NO_SIMD=1` to
+//!   measure the portable fallback instead of AVX2.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
@@ -76,6 +82,44 @@ fn bench_matmul_serial_vs_parallel(c: &mut Criterion) {
     c.bench_function("matmul/256x256x256_parallel_max_threads", |bch| {
         bch.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
     });
+}
+
+fn bench_matmul_scalar_vs_tiled(c: &mut Criterion) {
+    use stone_tensor::{
+        matmul, matmul_a_bt, matmul_a_bt_scalar, matmul_at_b, matmul_at_b_scalar, matmul_scalar,
+        rng::uniform_tensor, Tensor,
+    };
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut mk = |m: usize, k: usize| uniform_tensor(&mut rng, vec![m, k], -1.0, 1.0);
+
+    // Scalar-vs-tiled pairs over encoder-shaped products, so the per-core
+    // microkernel speedup (not just thread scaling) is visible in bench
+    // output. `*_scalar` is the PR 3 blocked serial kernel kept as the
+    // reference baseline; both entries run serial to isolate the kernels.
+    type Pair = (&'static str, fn(&Tensor, &Tensor) -> Tensor, fn(&Tensor, &Tensor) -> Tensor);
+    let pairs: [(Pair, Tensor, Tensor); 5] = [
+        // The serving-scale cube of the serial-vs-parallel pair above.
+        (("matmul/256x256x256", matmul_scalar, matmul), mk(256, 256), mk(256, 256)),
+        // Tall-skinny: a batched embedding head (batch 1024, fc 32 → dim 8).
+        (("matmul/1024x32x8_tall_skinny", matmul_scalar, matmul), mk(1024, 32), mk(32, 8)),
+        // Ragged at every tile edge: no dimension is a multiple of 8.
+        (("matmul/129x67x250_remainder", matmul_scalar, matmul), mk(129, 67), mk(67, 250)),
+        // The two fused-transpose gradient products at the same cube.
+        (("matmul_at_b/256x256x256", matmul_at_b_scalar, matmul_at_b), mk(256, 256), mk(256, 256)),
+        (("matmul_a_bt/256x256x256", matmul_a_bt_scalar, matmul_a_bt), mk(256, 256), mk(256, 256)),
+    ];
+    for ((name, scalar, tiled), a, b) in pairs {
+        c.bench_function(&format!("{name}_scalar"), |bch| {
+            bch.iter(|| {
+                stone_par::with_threads(1, || black_box(scalar(black_box(&a), black_box(&b))))
+            })
+        });
+        c.bench_function(&format!("{name}_tiled"), |bch| {
+            bch.iter(|| {
+                stone_par::with_threads(1, || black_box(tiled(black_box(&a), black_box(&b))))
+            })
+        });
+    }
 }
 
 fn bench_embed_batch(c: &mut Criterion) {
@@ -171,6 +215,7 @@ criterion_group!(
     targets = bench_preprocess,
         bench_encoder_forward,
         bench_matmul_serial_vs_parallel,
+        bench_matmul_scalar_vs_tiled,
         bench_embed_batch,
         bench_locate,
         bench_knn_query,

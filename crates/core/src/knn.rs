@@ -92,12 +92,16 @@ impl EmbeddingKnn {
     }
 
     /// Multiply-accumulate count (references × embedding dim) above which
-    /// the brute-force distance sweep is split across threads — the same
-    /// spawn/join break-even as the tensor crate's matmul dispatch. Each
-    /// distance depends only on its own reference entry, so the parallel
-    /// sweep is bitwise identical to the serial one; the stable sort that
-    /// follows is always serial.
-    const PAR_MIN_SWEEP_MACS: usize = stone_tensor::PAR_MIN_MACS;
+    /// the brute-force distance sweep is split across threads. Historically
+    /// tied to `stone_tensor::PAR_MIN_MACS`, but decoupled when the tiled
+    /// microkernels (PR 4) raised that constant: the sweep still runs the
+    /// same scalar distance loop as before (~1.5 MAC/ns), so 2¹⁸ MACs is
+    /// ~175 µs of sweep work — already far past the ~22 µs fork-join cost,
+    /// and raising it with the matmul threshold would only delay the
+    /// speedup. Each distance depends only on its own reference entry, so
+    /// the parallel sweep is bitwise identical to the serial one; the
+    /// stable sort that follows is always serial.
+    const PAR_MIN_SWEEP_MACS: usize = 1 << 18;
 
     /// Squared distance between a stored embedding and the query.
     fn dist2(e: &[f32], query: &[f32]) -> f32 {

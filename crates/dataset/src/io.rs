@@ -140,11 +140,17 @@ pub fn from_csv(name: &str, text: &str) -> Result<FingerprintDataset, CsvError> 
 ///
 /// # Panics
 ///
-/// Panics when a scan's RSSI length differs from `ap_count` — failing at
-/// write time, not when the spilled file is read back and the in-memory
-/// bucket may be gone.
+/// Panics when a scan's RSSI length differs from `ap_count`, or when the
+/// bucket label contains a comma or line break (which would corrupt the
+/// metadata prologue) — failing at write time, not when the spilled file
+/// is read back and the in-memory bucket may be gone.
 #[must_use]
 pub fn bucket_to_csv(bucket: &EvalBucket, ap_count: usize) -> String {
+    assert!(
+        !bucket.label.contains([',', '\n', '\r']),
+        "bucket label {:?} contains CSV delimiters and would not round-trip",
+        bucket.label
+    );
     let mut out = String::new();
     let _ = writeln!(out, "bucket,{},{},{}", bucket.label, bucket.ci, bucket.time.hours());
     for i in 0..ap_count {

@@ -1,7 +1,9 @@
 //! 2-D convolution over NCHW batches via im2col lowering.
 
 use rand::rngs::StdRng;
-use stone_tensor::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry, Tensor};
+use stone_tensor::{
+    col2im_from, im2col_into, matmul, matmul_a_bt, matmul_at_b, Conv2dGeometry, Tensor,
+};
 
 use crate::layer::{Cache, Layer, Mode};
 
@@ -9,8 +11,11 @@ use crate::layer::{Cache, Layer, Mode};
 ///
 /// The STONE encoder stacks two of these with 2×2 kernels, stride 1 and
 /// 64/128 filters (Sec. IV.D, Fig. 1 of the paper). Weights are stored as a
-/// `[out_channels, in_channels * kh * kw]` matrix so that the forward pass is
-/// one matrix product per sample against its im2col matrix.
+/// `[out_channels, in_channels * kh * kw]` matrix and the whole batch is
+/// lowered into one `[col_rows, batch · out_plane]` column matrix, so each
+/// forward or backward pass is a single matrix product — large enough to
+/// clear the tensor crate's parallel dispatch threshold — rather than
+/// `batch` per-sample ones.
 ///
 /// # Example
 ///
@@ -65,6 +70,30 @@ impl Conv2d {
         self.out_channels
     }
 
+    /// Lowers the whole NCHW batch into one `[col_rows, batch · out_plane]`
+    /// column matrix (sample `n` occupies columns `n * out_plane ..`), so
+    /// each layer pass is a single matrix product big enough to clear the
+    /// tensor crate's parallel threshold instead of `batch` small serial
+    /// ones.
+    fn lower_batch(&self, x: &Tensor, g: &Conv2dGeometry) -> Tensor {
+        let batch = x.shape()[0];
+        let sample_len = self.in_channels * g.in_h * g.in_w;
+        let out_plane = g.col_cols();
+        let mut cols = Tensor::zeros(vec![g.col_rows(), batch * out_plane]);
+        let xd = x.as_slice();
+        let cd = cols.as_mut_slice();
+        for n in 0..batch {
+            im2col_into(
+                &xd[n * sample_len..(n + 1) * sample_len],
+                g,
+                cd,
+                batch * out_plane,
+                n * out_plane,
+            );
+        }
+        cols
+    }
+
     fn geometry(&self, x: &Tensor) -> Conv2dGeometry {
         assert_eq!(x.rank(), 4, "Conv2d expects [batch, C, H, W], got rank {}", x.rank());
         assert_eq!(
@@ -90,20 +119,20 @@ impl Layer for Conv2d {
     fn forward(&self, x: &Tensor, _mode: Mode, _rng: &mut StdRng) -> (Tensor, Cache) {
         let g = self.geometry(x);
         let batch = x.shape()[0];
-        let sample_len = self.in_channels * g.in_h * g.in_w;
-        let out_plane = g.out_h * g.out_w;
+        let out_plane = g.col_cols();
+        let cols = self.lower_batch(x, &g);
+        // One [OC, batch · out_plane] product, scattered back to NCHW
+        // (the product is sample-major within each row) with the bias added.
+        let yw = matmul(&self.weight, &cols);
         let mut y = Tensor::zeros(vec![batch, self.out_channels, g.out_h, g.out_w]);
-        let xd = x.as_slice();
-        for n in 0..batch {
-            let cols = im2col(&xd[n * sample_len..(n + 1) * sample_len], &g);
-            let yn = matmul(&self.weight, &cols); // [OC, out_plane]
-            let dst_base = n * self.out_channels * out_plane;
-            let yd = y.as_mut_slice();
-            for oc in 0..self.out_channels {
-                let b = self.bias.as_slice()[oc];
-                let src = yn.row(oc);
-                let dst = &mut yd[dst_base + oc * out_plane..dst_base + (oc + 1) * out_plane];
-                for (d, &s) in dst.iter_mut().zip(src) {
+        let yd = y.as_mut_slice();
+        for oc in 0..self.out_channels {
+            let b = self.bias.as_slice()[oc];
+            let src = yw.row(oc);
+            for n in 0..batch {
+                let dst_base = (n * self.out_channels + oc) * out_plane;
+                let dst = &mut yd[dst_base..dst_base + out_plane];
+                for (d, &s) in dst.iter_mut().zip(&src[n * out_plane..(n + 1) * out_plane]) {
                     *d = s + b;
                 }
             }
@@ -116,37 +145,46 @@ impl Layer for Conv2d {
         let g = self.geometry(x);
         let batch = x.shape()[0];
         let sample_len = self.in_channels * g.in_h * g.in_w;
-        let out_plane = g.out_h * g.out_w;
+        let out_plane = g.col_cols();
         assert_eq!(
             grad_out.shape(),
             &[batch, self.out_channels, g.out_h, g.out_w],
             "Conv2d backward gradient shape mismatch"
         );
 
-        let mut grad_w = Tensor::zeros(vec![self.out_channels, g.col_rows()]);
-        let mut grad_b = Tensor::zeros(vec![self.out_channels]);
-        let mut grad_x = Tensor::zeros(vec![batch, self.in_channels, g.in_h, g.in_w]);
-
-        let xd = x.as_slice();
+        // Batched twin of `forward`: rebuild the whole-batch column matrix
+        // and gather grad_out into the matching [OC, batch · out_plane]
+        // layout, so each of the three gradient products runs once per
+        // layer pass.
+        let cols = self.lower_batch(x, &g);
+        let mut gn_all = Tensor::zeros(vec![self.out_channels, batch * out_plane]);
         let gd = grad_out.as_slice();
-        for n in 0..batch {
-            let cols = im2col(&xd[n * sample_len..(n + 1) * sample_len], &g);
-            let gn = Tensor::from_vec(
-                vec![self.out_channels, out_plane],
-                gd[n * self.out_channels * out_plane..(n + 1) * self.out_channels * out_plane]
-                    .to_vec(),
-            )
-            .expect("contiguous NCHW block reshapes to [OC, out_plane]");
-            // dW += gn · colsᵀ
-            grad_w += &matmul_a_bt(&gn, &cols);
-            // db += row sums of gn
-            for oc in 0..self.out_channels {
-                grad_b.as_mut_slice()[oc] += gn.row(oc).iter().sum::<f32>();
+        {
+            let gnd = gn_all.as_mut_slice();
+            for n in 0..batch {
+                for oc in 0..self.out_channels {
+                    let src = &gd[(n * self.out_channels + oc) * out_plane..][..out_plane];
+                    let dst = &mut gnd[oc * batch * out_plane + n * out_plane..][..out_plane];
+                    dst.copy_from_slice(src);
+                }
             }
-            // dcols = Wᵀ · gn, scattered back to the input gradient.
-            let dcols = matmul_at_b(&self.weight, &gn);
-            let gx = grad_x.as_mut_slice();
-            col2im(&dcols, &g, &mut gx[n * sample_len..(n + 1) * sample_len]);
+        }
+
+        // dW = gn · colsᵀ over the whole batch (sample-major inner
+        // dimension: the same per-sample sums as the serial loop, regrouped
+        // into one accumulation).
+        let grad_w = matmul_a_bt(&gn_all, &cols);
+        // db = row sums of gn.
+        let mut grad_b = Tensor::zeros(vec![self.out_channels]);
+        for (oc, gb) in grad_b.as_mut_slice().iter_mut().enumerate() {
+            *gb = gn_all.row(oc).iter().sum::<f32>();
+        }
+        // dcols = Wᵀ · gn, unbatched back onto each sample's input gradient.
+        let dcols = matmul_at_b(&self.weight, &gn_all);
+        let mut grad_x = Tensor::zeros(vec![batch, self.in_channels, g.in_h, g.in_w]);
+        let gx = grad_x.as_mut_slice();
+        for n in 0..batch {
+            col2im_from(&dcols, &g, n * out_plane, &mut gx[n * sample_len..(n + 1) * sample_len]);
         }
         (grad_x, vec![grad_w, grad_b])
     }

@@ -1,0 +1,29 @@
+//! Measures the cost of one `par_chunks` fork-join region at a 2-thread
+//! budget against the inline path — the number that sets the matmul
+//! dispatch threshold (`stone_tensor::PAR_MIN_MACS`, re-derived in PR 4;
+//! see the "Knobs" table of `docs/PERFORMANCE.md`).
+//!
+//! ```sh
+//! cargo run --release -p stone-par --example spawn_probe
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let mut buf = vec![0.0f32; 16];
+    for (label, nt) in [("inline_1thread", 1), ("forkjoin_2threads", 2)] {
+        let iters = 2000;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            stone_par::with_threads(nt, || {
+                stone_par::par_chunks(&mut buf, 8, |_, block| {
+                    for v in block.iter_mut() {
+                        *v += 1.0;
+                    }
+                });
+            });
+        }
+        println!("{label}: {:?}/region", t0.elapsed() / iters);
+    }
+    assert!(buf.iter().all(|&v| v == 4000.0), "probe work was optimized away");
+}

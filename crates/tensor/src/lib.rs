@@ -6,8 +6,10 @@
 //! The crate provides exactly what the higher layers need and nothing more:
 //!
 //! * [`Tensor`] — an owned, row-major, arbitrary-rank dense tensor;
-//! * matrix products ([`matmul`], [`matmul_at_b`], [`matmul_a_bt`]) tuned for
-//!   the single-core machines this reproduction targets;
+//! * register-tiled matrix products ([`matmul`], [`matmul_at_b`],
+//!   [`matmul_a_bt`]) with packed panels, an AVX2 microkernel behind runtime
+//!   detection (`STONE_NO_SIMD=1` forces the bit-identical portable
+//!   fallback), and row-parallel dispatch;
 //! * [`im2col`]/[`col2im`] lowering used by the convolution layers in
 //!   `stone-nn`;
 //! * seeded random fills (uniform and Box-Muller normal) in [`rng`];
@@ -25,7 +27,9 @@
 //! # Ok::<(), stone_tensor::TensorError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// Denied (not forbidden) so that exactly one module — `matmul::simd`, the
+// AVX2 microkernel — can locally allow it; see that module's safety notes.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod conv;
@@ -36,9 +40,12 @@ mod reduce;
 pub mod rng;
 mod tensor;
 
-pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use conv::{col2im, col2im_from, im2col, im2col_into, Conv2dGeometry};
 pub use error::TensorError;
-pub use matmul::{matmul, matmul_a_bt, matmul_at_b, PAR_MIN_MACS};
+pub use matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_scalar, matmul_at_b, matmul_at_b_scalar, matmul_scalar,
+    simd_available, with_backend, MatmulBackend, PAR_MIN_MACS,
+};
 pub use reduce::{argmax, mean_all, softmax_rows, sum_all, sum_axis0};
 pub use tensor::Tensor;
 

@@ -1,0 +1,119 @@
+//! Scalar reference kernels — the pre-tiling (PR 3) blocked implementations.
+//!
+//! These are **not** on any hot path: the dispatchers always run the
+//! register-tiled microkernels. They exist so that
+//!
+//! * `crates/bench/benches/micro.rs` can print scalar-vs-tiled pairs and
+//!   keep the per-core speedup visible in bench output, and
+//! * the property tests have an independently-written oracle that shares
+//!   no packing or tiling code with the kernels under test.
+//!
+//! They produce the same canonical accumulation order as the tiled kernels
+//! (each output element summed over a strictly increasing inner index with
+//! a single accumulator), with one historical difference kept for fidelity
+//! to the PR 3 code: the `A · B` and `Aᵀ · B` kernels skip exactly-zero A
+//! values, which the branch-free tiled kernels do not. On finite data the
+//! skip is a no-op numerically; tests therefore avoid exact zeros or
+//! compare with the triple loop directly.
+
+use crate::Tensor;
+
+/// Rows of `B` (resp. columns of `A`) per cache panel in the blocked
+/// scalar kernels.
+const K_BLOCK: usize = 64;
+
+/// Scalar blocked `A · B` (the PR 3 serial kernel). Bench baseline and
+/// test oracle only — see the module docs.
+///
+/// # Panics
+///
+/// Panics when either operand is not rank 2 or the inner dimensions differ.
+#[must_use]
+pub fn matmul_scalar(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (bk, n) = (b.rows(), b.cols());
+    assert_eq!(k, bk, "matmul inner dimensions differ: {k} vs {bk}");
+    let mut c = Tensor::zeros(vec![m, n]);
+    if c.is_empty() {
+        return c;
+    }
+    let bd = b.as_slice();
+    let cd = c.as_mut_slice();
+    for p0 in (0..k).step_by(K_BLOCK) {
+        let p1 = (p0 + K_BLOCK).min(k);
+        for ri in 0..m {
+            let arow = a.row(ri);
+            let crow = &mut cd[ri * n..(ri + 1) * n];
+            for p in p0..p1 {
+                let av = arow[p];
+                if av != 0.0 {
+                    let brow = &bd[p * n..(p + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Scalar `Aᵀ · B` (the PR 3 serial kernel). Bench baseline and test
+/// oracle only.
+///
+/// # Panics
+///
+/// Panics when either operand is not rank 2 or the leading dimensions
+/// differ.
+#[must_use]
+pub fn matmul_at_b_scalar(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (bm, n) = (b.rows(), b.cols());
+    assert_eq!(m, bm, "matmul_at_b leading dimensions differ: {m} vs {bm}");
+    let mut c = Tensor::zeros(vec![k, n]);
+    if c.is_empty() {
+        return c;
+    }
+    let cd = c.as_mut_slice();
+    for i in 0..m {
+        let arow = a.row(i);
+        let brow = b.row(i);
+        for (pi, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                let crow = &mut cd[pi * n..(pi + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+    c
+}
+
+/// Scalar `A · Bᵀ` (the PR 3 serial kernel). Bench baseline and test
+/// oracle only.
+///
+/// # Panics
+///
+/// Panics when either operand is not rank 2 or the trailing dimensions
+/// differ.
+#[must_use]
+pub fn matmul_a_bt_scalar(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, bk) = (b.rows(), b.cols());
+    assert_eq!(k, bk, "matmul_a_bt trailing dimensions differ: {k} vs {bk}");
+    let mut c = Tensor::zeros(vec![m, n]);
+    if c.is_empty() {
+        return c;
+    }
+    let cd = c.as_mut_slice();
+    for ri in 0..m {
+        let arow = a.row(ri);
+        let crow = &mut cd[ri * n..(ri + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = b.row(j);
+            *cv = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+        }
+    }
+    c
+}

@@ -111,3 +111,97 @@ proptest! {
         }
     }
 }
+
+/// Deterministic pseudo-random matrix from a salt. The proptest shim has no
+/// dynamic-length `vec` strategy, so random-*shape* tests draw dimensions
+/// and a salt instead and derive the data hash-style.
+fn salted(rows: usize, cols: usize, salt: u32) -> Tensor {
+    Tensor::from_fn(vec![rows, cols], |i| {
+        let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt.wrapping_mul(97));
+        (h % 2003) as f32 / 1001.5 - 1.0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every kernel variant — register-tiled, narrow-path, either SIMD
+    /// backend — must match the naive triple loop **bitwise**, not
+    /// approximately: tiling and packing regroup which elements are
+    /// computed together but never reorder any element's own sum (the
+    /// canonical accumulation order of `docs/PERFORMANCE.md`). Shapes are
+    /// drawn so every combination of full and ragged register tiles, and
+    /// outputs narrower than one tile, comes up.
+    #[test]
+    fn kernel_variants_match_naive_triple_loop_bitwise(
+        m in 1usize..35,
+        k in 1usize..41,
+        n in 1usize..35,
+        salt in 0u32..1_000_000,
+    ) {
+        let a = salted(m, k, salt);
+        let b = salted(k, n, salt.wrapping_add(1));
+        let at = salted(k, m, salt.wrapping_add(2));
+        let bt = salted(n, k, salt.wrapping_add(3));
+
+        let c = matmul(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.at2(i, p) * b.at2(p, j);
+                }
+                prop_assert_eq!(c.at2(i, j), acc, "matmul ({},{})", i, j);
+            }
+        }
+
+        let c = matmul_at_b(&at, &b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += at.at2(p, i) * b.at2(p, j);
+                }
+                prop_assert_eq!(c.at2(i, j), acc, "matmul_at_b ({},{})", i, j);
+            }
+        }
+
+        let c = matmul_a_bt(&a, &bt);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.at2(i, p) * bt.at2(j, p);
+                }
+                prop_assert_eq!(c.at2(i, j), acc, "matmul_a_bt ({},{})", i, j);
+            }
+        }
+    }
+
+    /// The batched im2col window writer must place each sample's columns
+    /// exactly where the one-sample lowering puts them, shifted by the
+    /// window offset (the `Conv2d` batching contract).
+    #[test]
+    fn im2col_into_window_matches_single_sample(salt in 0u32..1_000_000) {
+        let g = Conv2dGeometry::new(2, 5, 4, 2, 2, 1).unwrap();
+        let samples: Vec<Tensor> =
+            (0..3).map(|s| salted(1, 2 * 5 * 4, salt.wrapping_add(s))).collect();
+        let wide_cols = 3 * g.col_cols();
+        let mut wide = vec![f32::NAN; g.col_rows() * wide_cols];
+        for (s, sample) in samples.iter().enumerate() {
+            stone_tensor::im2col_into(sample.as_slice(), &g, &mut wide, wide_cols, s * g.col_cols());
+        }
+        for (s, sample) in samples.iter().enumerate() {
+            let single = im2col(sample.as_slice(), &g);
+            for r in 0..g.col_rows() {
+                for c in 0..g.col_cols() {
+                    prop_assert_eq!(
+                        wide[r * wide_cols + s * g.col_cols() + c],
+                        single.at2(r, c),
+                        "sample {} row {} col {}", s, r, c
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! The parallel subsystem's contract (see `docs/PERFORMANCE.md`): every
-//! parallel path — blocked matmul, batched embedding, parallel KNN sweep,
+//! parallel path — tiled matmul, batched embedding, parallel KNN sweep,
 //! and the concurrent experiment runner — produces **bitwise-identical**
-//! results at thread counts 1, 2 and 8.
+//! results at thread counts 1, 2 and 8, and the AVX2 matmul microkernels
+//! are bit-equal to the `STONE_NO_SIMD` portable fallback.
 //!
 //! `stone_par::with_threads` installs a process-wide override, so every
 //! test in this binary takes `THREAD_LOCK` before touching it.
@@ -41,12 +42,14 @@ fn assert_thread_invariant<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) {
 fn matmul_variants_are_bitwise_identical_across_thread_counts() {
     let _g = lock();
     let mut rng = StdRng::seed_from_u64(11);
-    // 120·90·70 = 756 000 MACs — comfortably above the parallel threshold,
-    // with split points that don't divide evenly at 2 or 8 threads.
-    let a = uniform_tensor(&mut rng, vec![120, 90], -2.0, 2.0);
-    let b = uniform_tensor(&mut rng, vec![90, 70], -2.0, 2.0);
-    let at = uniform_tensor(&mut rng, vec![90, 120], -2.0, 2.0);
-    let bt = uniform_tensor(&mut rng, vec![70, 90], -2.0, 2.0);
+    // 168·118·90 ≈ 1.78M MACs — comfortably above the parallel threshold
+    // (2²⁰ since the PR 4 re-derivation), with split points that don't
+    // divide evenly at 2 or 8 threads and ragged register-tile edges in
+    // every dimension.
+    let a = uniform_tensor(&mut rng, vec![168, 118], -2.0, 2.0);
+    let b = uniform_tensor(&mut rng, vec![118, 90], -2.0, 2.0);
+    let at = uniform_tensor(&mut rng, vec![118, 168], -2.0, 2.0);
+    let bt = uniform_tensor(&mut rng, vec![90, 118], -2.0, 2.0);
     assert_thread_invariant(|| -> Vec<Vec<f32>> {
         vec![
             matmul(&a, &b).into_vec(),
@@ -57,20 +60,66 @@ fn matmul_variants_are_bitwise_identical_across_thread_counts() {
 }
 
 #[test]
+fn simd_kernels_are_bitwise_identical_to_no_simd_fallback() {
+    let _g = lock();
+    if !stone_tensor::simd_available() {
+        // Single-backend machine: the contract is vacuous here.
+        return;
+    }
+    if std::env::var("STONE_NO_SIMD").is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0") {
+        // STONE_NO_SIMD=1 is the operator's AVX2 kill-switch, and
+        // `with_backend(Simd)` would override it by design (it's a test
+        // hook) — honor the kill-switch here so the CI no-SIMD job never
+        // executes AVX2 code. The default-environment run of this test
+        // covers the comparison.
+        return;
+    }
+    // The AVX2 microkernel must be an execution strategy, never a numerics
+    // change: bit-equality with the portable fallback on every variant,
+    // over tiled, ragged-edge and narrow (< one tile) shapes, serial and
+    // threaded.
+    let mut rng = StdRng::seed_from_u64(13);
+    for (m, k, n) in [(168, 118, 90), (64, 64, 64), (13, 29, 11), (3, 500, 40), (1, 64, 8)] {
+        let a = uniform_tensor(&mut rng, vec![m, k], -2.0, 2.0);
+        let b = uniform_tensor(&mut rng, vec![k, n], -2.0, 2.0);
+        let at = uniform_tensor(&mut rng, vec![k, m], -2.0, 2.0);
+        let bt = uniform_tensor(&mut rng, vec![n, k], -2.0, 2.0);
+        let run = || -> Vec<Vec<f32>> {
+            vec![
+                matmul(&a, &b).into_vec(),
+                matmul_at_b(&at, &b).into_vec(),
+                matmul_a_bt(&a, &bt).into_vec(),
+            ]
+        };
+        for nt in THREAD_COUNTS {
+            let portable =
+                stone_tensor::with_backend(stone_tensor::MatmulBackend::Portable, || {
+                    with_threads(nt, run)
+                });
+            let simd = stone_tensor::with_backend(stone_tensor::MatmulBackend::Simd, || {
+                with_threads(nt, run)
+            });
+            assert_eq!(portable, simd, "{m}x{k}x{n} diverged at {nt} threads");
+        }
+    }
+}
+
+#[test]
 fn matmul_parallel_path_equals_pre_parallel_reference() {
     let _g = lock();
-    // Freeze the semantics: the blocked/parallel kernel must match the
-    // naive triple loop (the seed implementation) exactly, element order
-    // and all, not just approximately.
+    // Freeze the semantics: the tiled/parallel kernel must match the naive
+    // triple loop (the seed implementation) exactly, element order and
+    // all, not just approximately. 128·112·80 ≈ 1.15M MACs keeps the
+    // parallel dispatch engaged above the PR 4 threshold.
     let mut rng = StdRng::seed_from_u64(12);
-    let a = uniform_tensor(&mut rng, vec![80, 96], -1.0, 1.0);
-    let b = uniform_tensor(&mut rng, vec![96, 64], -1.0, 1.0);
-    let mut naive = Tensor::zeros(vec![80, 64]);
-    for i in 0..80 {
-        for p in 0..96 {
+    let a = uniform_tensor(&mut rng, vec![128, 112], -1.0, 1.0);
+    let b = uniform_tensor(&mut rng, vec![112, 80], -1.0, 1.0);
+    let mut naive = Tensor::zeros(vec![128, 80]);
+    for i in 0..128 {
+        for p in 0..112 {
             let av = a.at2(i, p);
             if av != 0.0 {
-                for j in 0..64 {
+                for j in 0..80 {
                     let v = naive.at2(i, j) + av * b.at2(p, j);
                     naive.set2(i, j, v);
                 }
