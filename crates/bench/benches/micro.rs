@@ -14,7 +14,10 @@
 //!   microkernels over encoder-shaped products: the serving-scale cube,
 //!   tall-skinny, ragged-remainder and fused-transpose shapes) — the
 //!   per-core speedup, visible even on one core. Set `STONE_NO_SIMD=1` to
-//!   measure the portable fallback instead of AVX2.
+//!   measure the portable fallback instead of AVX2;
+//! * **uncoalesced-vs-coalesced serving** (`stone-serve` with `max_batch`
+//!   1 vs. 64 under 4 closed-loop client threads) — what the batching
+//!   server's adaptive coalescing buys end to end, channels included.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
@@ -176,6 +179,55 @@ fn bench_suite_generation(c: &mut Criterion) {
     });
 }
 
+fn bench_serve_batching(c: &mut Criterion) {
+    use std::sync::Arc;
+    use stone_serve::{LocalizationServer, ModelRegistry, ServerConfig};
+
+    // The serving pair documented in docs/PERFORMANCE.md: 4 closed-loop
+    // client threads fire 64 single-scan queries at the server, once with
+    // batching disabled and once with adaptive coalescing (the default).
+    // Both entries include the client threads and channel traffic — this
+    // measures the served path end to end, not just the kernels.
+    let suite = quick_suite();
+    let cfg = StoneConfig {
+        trainer: TrainerConfig {
+            epochs: 1,
+            triplets_per_epoch: 32,
+            batch_size: 32,
+            ..TrainerConfig::quick()
+        },
+        ..StoneConfig::quick()
+    };
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("office", StoneBuilder::from_config(cfg).fit(&suite.train, 1));
+    let scans: Vec<Vec<f32>> = suite.buckets.iter().flat_map(|b| b.raw_scans()).take(64).collect();
+
+    for (name, max_batch) in
+        [("serve/64scans_4clients_uncoalesced", 1), ("serve/64scans_4clients_coalesced", 64)]
+    {
+        let server = LocalizationServer::start(
+            Arc::clone(&registry),
+            ServerConfig { max_batch, ..ServerConfig::default() },
+        );
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for client in 0..4 {
+                        let handle = server.handle();
+                        let scans = &scans;
+                        s.spawn(move || {
+                            for scan in scans.iter().skip(client * 16).take(16) {
+                                black_box(handle.locate("office", scan).expect("answered"));
+                            }
+                        });
+                    }
+                });
+            })
+        });
+        server.shutdown();
+    }
+}
+
 fn bench_triplet_selection(c: &mut Criterion) {
     let suite = quick_suite();
     let index = TrainIndex::new(&suite.train);
@@ -219,6 +271,7 @@ criterion_group!(
         bench_embed_batch,
         bench_locate,
         bench_knn_query,
+        bench_serve_batching,
         bench_suite_generation,
         bench_triplet_selection,
         bench_training_step

@@ -76,6 +76,25 @@ impl EmbeddingKnn {
         self.k
     }
 
+    /// The configured position-estimation mode.
+    #[must_use]
+    pub fn mode(&self) -> KnnMode {
+        self.mode
+    }
+
+    /// Iterates the stored reference entries `(embedding, label, position)`
+    /// in insertion order — the order that decides exact-distance ties, so
+    /// replaying these entries into a fresh model via
+    /// [`EmbeddingKnn::insert`] reproduces every prediction bitwise (the
+    /// model-serialization contract).
+    pub fn entries(&self) -> impl Iterator<Item = (&[f32], RpId, Point2)> {
+        self.embeddings
+            .iter()
+            .zip(&self.labels)
+            .zip(&self.positions)
+            .map(|((e, &l), &p)| (e.as_slice(), l, p))
+    }
+
     /// Adds one reference embedding.
     ///
     /// # Panics

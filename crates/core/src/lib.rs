@@ -41,6 +41,7 @@ mod augment;
 mod encoder;
 mod knn;
 mod localizer;
+pub mod model_io;
 mod preprocess;
 mod trainer;
 mod triplet;
@@ -48,7 +49,8 @@ mod triplet;
 pub use augment::ApDropoutAugmenter;
 pub use encoder::{build_encoder, EncoderConfig};
 pub use knn::{EmbeddingKnn, KnnMode};
-pub use localizer::{StoneBuilder, StoneConfig, StoneLocalizer};
+pub use localizer::{ConfigError, StoneBuilder, StoneConfig, StoneLocalizer};
+pub use model_io::ModelIoError;
 pub use preprocess::ImageCodec;
 pub use trainer::{EpochStats, SiameseTrainer, TrainedEncoder, TrainerConfig};
 pub use triplet::{

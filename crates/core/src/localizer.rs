@@ -6,6 +6,72 @@ use stone_radio::Point2;
 use crate::knn::{EmbeddingKnn, KnnMode};
 use crate::trainer::{SiameseTrainer, TrainedEncoder, TrainerConfig};
 
+/// A [`StoneConfig`] field that failed validation, with enough detail to fix
+/// it — returned by [`StoneConfig::validate`] *before* any training time is
+/// spent, instead of a panic deep inside the trainer or the KNN head.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `knn_k` is zero (the KNN head needs at least one neighbour).
+    ZeroKnnK,
+    /// `trainer.embed_dim` is zero (embeddings need at least one dimension).
+    ZeroEmbedDim,
+    /// `trainer.margin` is not a finite, non-negative number.
+    BadMargin {
+        /// The offending value.
+        margin: f32,
+    },
+    /// `trainer.learning_rate` is not a finite, positive number.
+    BadLearningRate {
+        /// The offending value.
+        learning_rate: f32,
+    },
+    /// `trainer.p_upper` is outside `[0, 1]` (it is a probability bound).
+    BadPUpper {
+        /// The offending value.
+        p_upper: f32,
+    },
+    /// `trainer.epochs` is zero.
+    ZeroEpochs,
+    /// `trainer.batch_size` is zero.
+    ZeroBatchSize,
+    /// `trainer.triplets_per_epoch` is smaller than `trainer.batch_size`,
+    /// so an epoch would hold no optimizer step at all.
+    EpochSmallerThanBatch {
+        /// Triplets drawn per epoch.
+        triplets_per_epoch: usize,
+        /// Triplets per optimizer step.
+        batch_size: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroKnnK => write!(f, "knn_k must be at least 1"),
+            ConfigError::ZeroEmbedDim => write!(f, "trainer.embed_dim must be at least 1"),
+            ConfigError::BadMargin { margin } => {
+                write!(f, "trainer.margin must be finite and non-negative, got {margin}")
+            }
+            ConfigError::BadLearningRate { learning_rate } => {
+                write!(f, "trainer.learning_rate must be finite and positive, got {learning_rate}")
+            }
+            ConfigError::BadPUpper { p_upper } => {
+                write!(f, "trainer.p_upper must be a probability in [0, 1], got {p_upper}")
+            }
+            ConfigError::ZeroEpochs => write!(f, "trainer.epochs must be at least 1"),
+            ConfigError::ZeroBatchSize => write!(f, "trainer.batch_size must be at least 1"),
+            ConfigError::EpochSmallerThanBatch { triplets_per_epoch, batch_size } => write!(
+                f,
+                "trainer.triplets_per_epoch ({triplets_per_epoch}) must be at least \
+                 trainer.batch_size ({batch_size}) so an epoch holds one optimizer step"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full STONE configuration: trainer hyperparameters plus the KNN head.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StoneConfig {
@@ -35,6 +101,48 @@ impl StoneConfig {
     #[must_use]
     pub fn paper() -> Self {
         Self { trainer: TrainerConfig::paper(), ..Self::quick() }
+    }
+
+    /// Checks every field that would otherwise only blow up mid-training
+    /// (or, worse, *after* training, when the KNN head is first built).
+    ///
+    /// [`StoneBuilder::fit`] calls this up front, and the serving layer's
+    /// retraining paths can call it before spending minutes of encoder
+    /// training on a configuration that cannot be deployed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.knn_k == 0 {
+            return Err(ConfigError::ZeroKnnK);
+        }
+        let t = &self.trainer;
+        if t.embed_dim == 0 {
+            return Err(ConfigError::ZeroEmbedDim);
+        }
+        if !t.margin.is_finite() || t.margin < 0.0 {
+            return Err(ConfigError::BadMargin { margin: t.margin });
+        }
+        if !t.learning_rate.is_finite() || t.learning_rate <= 0.0 {
+            return Err(ConfigError::BadLearningRate { learning_rate: t.learning_rate });
+        }
+        if !t.p_upper.is_finite() || !(0.0..=1.0).contains(&t.p_upper) {
+            return Err(ConfigError::BadPUpper { p_upper: t.p_upper });
+        }
+        if t.epochs == 0 {
+            return Err(ConfigError::ZeroEpochs);
+        }
+        if t.batch_size == 0 {
+            return Err(ConfigError::ZeroBatchSize);
+        }
+        if t.triplets_per_epoch < t.batch_size {
+            return Err(ConfigError::EpochSmallerThanBatch {
+                triplets_per_epoch: t.triplets_per_epoch,
+                batch_size: t.batch_size,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -142,11 +250,17 @@ impl StoneBuilder {
     ///
     /// # Panics
     ///
-    /// Panics when the dataset has records at fewer than two RPs.
+    /// Panics **before any training work** when the configuration is invalid
+    /// (see [`StoneConfig::validate`] — e.g. a zero `knn_k` used to survive
+    /// the whole encoder training only to panic while fitting the KNN head),
+    /// and when the dataset has records at fewer than two RPs.
     #[must_use]
     pub fn fit(&self, train: &FingerprintDataset, seed: u64) -> StoneLocalizer {
         use rand::SeedableRng;
 
+        if let Err(e) = self.cfg.validate() {
+            panic!("invalid StoneConfig: {e}");
+        }
         let encoder = SiameseTrainer::new(self.cfg.trainer).train(train, seed);
         let mut knn = EmbeddingKnn::new(self.cfg.knn_k, self.cfg.knn_mode);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xE7_20_11);
@@ -178,7 +292,7 @@ impl StoneBuilder {
                 knn.insert(emb.row(i).to_vec(), rp, pos);
             }
         }
-        StoneLocalizer { encoder, knn }
+        StoneLocalizer { cfg: self.cfg, encoder, knn }
     }
 }
 
@@ -195,11 +309,35 @@ impl Framework for StoneBuilder {
 /// A deployed STONE model: Siamese encoder + embedding KNN. Requires **no
 /// re-training** after deployment — the paper's headline property.
 pub struct StoneLocalizer {
+    cfg: StoneConfig,
     encoder: TrainedEncoder,
     knn: EmbeddingKnn,
 }
 
 impl StoneLocalizer {
+    /// Reassembles a localizer from its parts — the deserialization hook of
+    /// [`StoneLocalizer::load`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is invalid or disagrees with the KNN
+    /// head (`knn_k`, `knn_mode`).
+    #[must_use]
+    pub fn from_parts(cfg: StoneConfig, encoder: TrainedEncoder, knn: EmbeddingKnn) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid StoneConfig: {e}");
+        }
+        assert_eq!(cfg.knn_k, knn.k(), "config knn_k disagrees with the KNN head");
+        assert_eq!(cfg.knn_mode, knn.mode(), "config knn_mode disagrees with the KNN head");
+        Self { cfg, encoder, knn }
+    }
+
+    /// The configuration this model was trained with.
+    #[must_use]
+    pub fn config(&self) -> &StoneConfig {
+        &self.cfg
+    }
+
     /// The trained encoder (for weight export or embedding inspection).
     #[must_use]
     pub fn encoder(&self) -> &TrainedEncoder {
@@ -210,6 +348,28 @@ impl StoneLocalizer {
     #[must_use]
     pub fn knn(&self) -> &EmbeddingKnn {
         &self.knn
+    }
+
+    /// Serializes the whole deployable model — configuration, encoder
+    /// weights and the reference-embedding set — into the versioned binary
+    /// format of [`crate::model_io`]. [`StoneLocalizer::load`] restores a
+    /// model whose `embed`, `locate` and `locate_batch` outputs are
+    /// **bitwise identical** to this one's.
+    #[must_use]
+    pub fn save(&self) -> Vec<u8> {
+        crate::model_io::save(self)
+    }
+
+    /// Deserializes a model produced by [`StoneLocalizer::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ModelIoError`] when the bytes are truncated,
+    /// corrupted, of an unknown version, or describe an invalid
+    /// configuration. A failed load never panics — the serving layer feeds
+    /// this from disk and from the network.
+    pub fn load(bytes: &[u8]) -> Result<Self, crate::ModelIoError> {
+        crate::model_io::load(bytes)
     }
 
     /// Embeds a raw fingerprint (unit-norm vector of length `d`).
@@ -366,6 +526,76 @@ mod tests {
         assert_eq!(b.config().knn_k, 7);
         assert_eq!(b.config().knn_mode, KnnMode::WeightedRegression);
         assert_eq!(b.config().trainer.selector, crate::SelectorKind::Uniform);
+    }
+
+    #[test]
+    fn validate_catches_every_degenerate_field() {
+        let ok = StoneConfig::quick();
+        assert_eq!(ok.validate(), Ok(()));
+
+        let cases: Vec<(StoneConfig, &str)> = vec![
+            (StoneConfig { knn_k: 0, ..ok }, "knn_k"),
+            (
+                StoneConfig { trainer: TrainerConfig { embed_dim: 0, ..ok.trainer }, ..ok },
+                "embed_dim",
+            ),
+            (
+                StoneConfig { trainer: TrainerConfig { margin: f32::NAN, ..ok.trainer }, ..ok },
+                "margin",
+            ),
+            (
+                StoneConfig {
+                    trainer: TrainerConfig { margin: f32::INFINITY, ..ok.trainer },
+                    ..ok
+                },
+                "margin",
+            ),
+            (
+                StoneConfig { trainer: TrainerConfig { learning_rate: 0.0, ..ok.trainer }, ..ok },
+                "learning_rate",
+            ),
+            (
+                StoneConfig { trainer: TrainerConfig { p_upper: 1.5, ..ok.trainer }, ..ok },
+                "p_upper",
+            ),
+            (StoneConfig { trainer: TrainerConfig { epochs: 0, ..ok.trainer }, ..ok }, "epochs"),
+            (
+                StoneConfig { trainer: TrainerConfig { batch_size: 0, ..ok.trainer }, ..ok },
+                "batch_size",
+            ),
+            (
+                StoneConfig {
+                    trainer: TrainerConfig { triplets_per_epoch: 4, batch_size: 32, ..ok.trainer },
+                    ..ok
+                },
+                "triplets_per_epoch",
+            ),
+        ];
+        for (cfg, field) in cases {
+            let err = cfg.validate().expect_err(field);
+            assert!(err.to_string().contains(field), "error for {field} not descriptive: {err}");
+        }
+    }
+
+    #[test]
+    fn fit_rejects_zero_knn_k_before_training() {
+        // A zero k used to survive the entire encoder training and only
+        // panic while fitting the KNN head; now fit refuses up front with
+        // the field name in the message.
+        let suite = office_suite(&SuiteConfig::tiny(4));
+        let builder = StoneBuilder::from_config(StoneConfig { knn_k: 0, ..StoneConfig::quick() });
+        let err = std::panic::catch_unwind(|| builder.fit(&suite.train, 1))
+            .expect_err("fit must reject knn_k = 0");
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("knn_k"), "panic message not descriptive: {msg}");
+    }
+
+    #[test]
+    fn localizer_exposes_its_config() {
+        let suite = office_suite(&SuiteConfig::tiny(5));
+        let builder = tiny_builder();
+        let loc = builder.fit(&suite.train, 1);
+        assert_eq!(loc.config(), builder.config());
     }
 
     #[test]

@@ -115,6 +115,19 @@ pub struct TrainedEncoder {
 }
 
 impl TrainedEncoder {
+    /// Reassembles a trained encoder from its parts — the deserialization
+    /// hook of the model round-trip (`StoneLocalizer::save`/`load`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the network's input layout cannot match the codec (no
+    /// parameters at all).
+    #[must_use]
+    pub fn from_parts(net: Sequential, codec: ImageCodec, history: Vec<EpochStats>) -> Self {
+        assert!(!net.params().is_empty(), "encoder network has no parameters");
+        Self { net, codec, history }
+    }
+
     /// The preprocessing codec matching this encoder's input layout.
     #[must_use]
     pub fn codec(&self) -> &ImageCodec {

@@ -1,0 +1,116 @@
+//! Whole-model serialization properties: `load(save(m))` preserves `embed`
+//! and `locate_batch` outputs **bitwise** across hyperparameter variations,
+//! and corrupted or truncated blobs are rejected with an error, never a
+//! panic.
+
+use proptest::prelude::*;
+use stone::{KnnMode, StoneBuilder, StoneConfig, StoneLocalizer, TrainerConfig};
+use stone_dataset::{office_suite, Localizer, SuiteConfig};
+
+fn fit(seed: u64, embed_dim: usize, knn_k: usize, knn_mode: KnnMode) -> StoneLocalizer {
+    let suite = office_suite(&SuiteConfig::tiny(seed));
+    StoneBuilder::from_config(StoneConfig {
+        trainer: TrainerConfig {
+            embed_dim,
+            epochs: 2,
+            triplets_per_epoch: 32,
+            batch_size: 16,
+            ..TrainerConfig::quick()
+        },
+        knn_k,
+        knn_mode,
+    })
+    .fit(&suite.train, seed)
+}
+
+/// Query scans the training set never saw: the later evaluation buckets.
+fn query_scans(seed: u64) -> Vec<Vec<f32>> {
+    office_suite(&SuiteConfig::tiny(seed))
+        .buckets
+        .iter()
+        .flat_map(|b| b.raw_scans())
+        .take(24)
+        .collect()
+}
+
+proptest! {
+    // Each case trains an encoder, so keep the count small; the dimensions
+    // and KNN head still vary enough to cover the format's moving parts.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn roundtrip_preserves_embed_and_locate_batch_bitwise(
+        seed in 0u64..1000,
+        embed_dim in 3usize..7,
+        knn_k in 1usize..5,
+        regression in 0u8..2,
+    ) {
+        let mode = if regression == 1 { KnnMode::WeightedRegression } else { KnnMode::Classify };
+        let original = fit(seed, embed_dim, knn_k, mode);
+        let blob = original.save();
+        let loaded = StoneLocalizer::load(&blob).expect("roundtrip decodes");
+
+        let scans = query_scans(seed);
+        for scan in &scans {
+            // f32 vectors compared with ==: bitwise, not approximate.
+            prop_assert_eq!(original.embed(scan), loaded.embed(scan));
+            prop_assert_eq!(original.locate(scan), loaded.locate(scan));
+        }
+        let refs: Vec<&[f32]> = scans.iter().map(|s| s.as_slice()).collect();
+        prop_assert_eq!(original.locate_batch(&refs), loaded.locate_batch(&refs));
+
+        // The loaded model re-serializes to the identical bytes.
+        prop_assert_eq!(loaded.save(), blob);
+    }
+}
+
+#[test]
+fn every_truncation_is_rejected_without_panicking() {
+    let original = fit(3, 4, 3, KnnMode::WeightedRegression);
+    let blob = original.save();
+    // Every prefix is invalid: either the header breaks or some declared
+    // count no longer fits the remaining bytes. ~64 probes spread over the
+    // blob cross every section boundary of the format without decoding
+    // megabytes thousands of times.
+    let stride = (blob.len() / 64).max(1);
+    let mut lengths: Vec<usize> = (0..blob.len()).step_by(stride).collect();
+    lengths.extend([1, 4, 7, 8, 37, 54, 59, blob.len() - 1]);
+    for len in lengths {
+        let result = StoneLocalizer::load(&blob[..len]);
+        assert!(result.is_err(), "prefix of {len} bytes decoded successfully");
+    }
+}
+
+#[test]
+fn corrupted_bytes_never_panic_and_structural_damage_is_rejected() {
+    let original = fit(4, 4, 3, KnnMode::Classify);
+    let blob = original.save();
+
+    // Structural fields must reject outright: the magic (0), the version
+    // (5), the selector tag (36), the KNN mode tag (53) and the AP count
+    // (54) — a 0xFF flip turns each into a value that contradicts the rest
+    // of the blob (for the AP count, the weight block no longer matches
+    // the architecture the header describes).
+    for &offset in &[0usize, 5, 36, 53, 54] {
+        let mut bad = blob.clone();
+        bad[offset] ^= 0xFF;
+        assert!(
+            StoneLocalizer::load(&bad).is_err(),
+            "flip at structural offset {offset} decoded successfully"
+        );
+    }
+
+    // Arbitrary single-byte damage anywhere in the blob must never panic
+    // (payload flips may still decode — to a different but valid model).
+    for offset in (0..blob.len()).step_by((blob.len() / 32).max(1)) {
+        let mut bad = blob.clone();
+        bad[offset] ^= 0x55;
+        let _ = StoneLocalizer::load(&bad);
+    }
+
+    // Garbage of various sizes must never panic either.
+    for size in [0usize, 3, 8, 64, 1024] {
+        let garbage: Vec<u8> = (0..size).map(|i| (i * 37 + 11) as u8).collect();
+        assert!(StoneLocalizer::load(&garbage).is_err());
+    }
+}

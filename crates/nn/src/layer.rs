@@ -49,7 +49,12 @@ impl Cache {
 /// `(∂L/∂x, [∂L/∂p for p in params()])` where `L` is any scalar with
 /// `∂L/∂output = g`. The [`crate::gradcheck`] module verifies this
 /// numerically for every layer in the crate.
-pub trait Layer {
+///
+/// `Send + Sync` are supertraits so a trained [`crate::Sequential`] can be
+/// shared across threads behind an `Arc` — the serving layer keeps one
+/// immutable model snapshot visible to every worker thread. Layers are plain
+/// tensors and scalars, so the bound costs implementations nothing.
+pub trait Layer: Send + Sync {
     /// Runs the layer on `x`, returning the output and the backward cache.
     ///
     /// `rng` is only consulted by stochastic layers in [`Mode::Train`].

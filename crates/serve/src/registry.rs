@@ -1,0 +1,157 @@
+//! The per-venue model registry with atomic warm reload.
+//!
+//! Every venue (building / floorplan) maps to an [`Arc`]-shared
+//! [`ModelEntry`]: an immutable `(version, StoneLocalizer)` snapshot.
+//! [`ModelRegistry::publish`] swaps the venue's entry under a write lock, so
+//! a retrained model becomes visible atomically; batch executors that
+//! already cloned the previous `Arc` keep serving their in-flight requests
+//! from the old snapshot and drop it when done — **warm reload with zero
+//! dropped queries**. Every response carries the snapshot's version, so a
+//! client (or a test) can attribute each answer to the exact model that
+//! produced it.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use stone::{ModelIoError, StoneLocalizer};
+
+/// One immutable published model: the unit of atomic swap.
+#[derive(Debug)]
+pub struct ModelEntry {
+    venue: String,
+    version: u64,
+    model: StoneLocalizer,
+}
+
+impl ModelEntry {
+    /// The venue this model serves.
+    #[must_use]
+    pub fn venue(&self) -> &str {
+        &self.venue
+    }
+
+    /// Monotonically increasing per-venue version (1 for the first
+    /// publish). Echoed in every [`crate::LocateResponse`].
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The deployed model snapshot.
+    #[must_use]
+    pub fn model(&self) -> &StoneLocalizer {
+        &self.model
+    }
+}
+
+/// A thread-safe venue → model map with atomic publish.
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use stone::StoneBuilder;
+/// use stone_dataset::{office_suite, SuiteConfig};
+/// use stone_serve::ModelRegistry;
+///
+/// let suite = office_suite(&SuiteConfig::tiny(1));
+/// let registry = Arc::new(ModelRegistry::new());
+/// let v1 = registry.publish("office", StoneBuilder::quick().fit(&suite.train, 1));
+/// assert_eq!(v1, 1);
+/// // Retrain and hot-swap: in-flight requests keep their old snapshot.
+/// let v2 = registry.publish("office", StoneBuilder::quick().fit(&suite.train, 2));
+/// assert_eq!(v2, 2);
+/// assert_eq!(registry.snapshot("office").unwrap().version(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    venues: RwLock<HashMap<String, Arc<ModelEntry>>>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes (or replaces) the venue's model and returns the new
+    /// version. The swap is atomic: callers either see the old entry or the
+    /// new one, never a mix, and snapshots taken before the swap stay valid
+    /// until their last holder drops them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the registry lock is poisoned (a publisher panicked).
+    pub fn publish(&self, venue: &str, model: StoneLocalizer) -> u64 {
+        let mut venues = self.venues.write().expect("registry lock");
+        let version = venues.get(venue).map_or(0, |e| e.version) + 1;
+        venues.insert(
+            venue.to_string(),
+            Arc::new(ModelEntry { venue: venue.to_string(), version, model }),
+        );
+        version
+    }
+
+    /// Publishes a model from its serialized form ([`StoneLocalizer::save`])
+    /// — the path a retrainer in another process (or on another machine)
+    /// uses to ship a fresh model into a running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelIoError`] when the bytes do not decode; the venue's
+    /// current model (if any) stays published untouched.
+    pub fn publish_bytes(&self, venue: &str, bytes: &[u8]) -> Result<u64, ModelIoError> {
+        let model = StoneLocalizer::load(bytes)?;
+        Ok(self.publish(venue, model))
+    }
+
+    /// The venue's current model snapshot, or `None` for an unknown venue.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the registry lock is poisoned.
+    #[must_use]
+    pub fn snapshot(&self, venue: &str) -> Option<Arc<ModelEntry>> {
+        self.venues.read().expect("registry lock").get(venue).cloned()
+    }
+
+    /// Unpublishes a venue; returns `true` when it existed. In-flight
+    /// snapshots keep serving until dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the registry lock is poisoned.
+    pub fn remove(&self, venue: &str) -> bool {
+        self.venues.write().expect("registry lock").remove(venue).is_some()
+    }
+
+    /// Registered venue names, sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the registry lock is poisoned.
+    #[must_use]
+    pub fn venues(&self) -> Vec<String> {
+        let mut v: Vec<String> =
+            self.venues.read().expect("registry lock").keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered venues.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the registry lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.venues.read().expect("registry lock").len()
+    }
+
+    /// Returns `true` when no venue is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,535 @@
+//! The batching localization server.
+//!
+//! Clients submit *single* scans; a small pool of batch executors pulls
+//! them off a bounded queue and coalesces whatever is waiting (up to
+//! [`ServerConfig::max_batch`], waiting at most [`ServerConfig::max_wait`]
+//! for stragglers) into one [`stone::StoneLocalizer::locate_batch`] call —
+//! the path that amortizes the encoder forward pass and unlocks the
+//! parallel kernels. Results are **bitwise identical** to per-scan
+//! `Localizer::locate` calls on the same model snapshot: batching changes
+//! cost, never answers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use stone_radio::Point2;
+
+use crate::registry::ModelRegistry;
+use crate::stats::{ServerStats, StatsSnapshot};
+
+/// Why a localization request failed. Always per-request: one bad query
+/// never takes down a batch, a worker, or the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// No model is published for the requested venue.
+    UnknownVenue {
+        /// The venue the client asked for.
+        venue: String,
+    },
+    /// The venue's model has an empty reference set and cannot answer.
+    EmptyModel {
+        /// The venue whose model is empty.
+        venue: String,
+    },
+    /// The scan's AP count does not match the venue's model.
+    ScanDimensionMismatch {
+        /// The venue the client asked for.
+        venue: String,
+        /// AP universe of the published model.
+        expected: usize,
+        /// Length of the submitted scan.
+        got: usize,
+    },
+    /// The bounded request queue is full (backpressure; only
+    /// [`ServerHandle::try_locate`]/[`ServerHandle::try_submit`] report
+    /// this — the blocking variants wait for a slot instead).
+    QueueFull,
+    /// The server is shutting down (or already gone).
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownVenue { venue } => write!(f, "no model published for {venue:?}"),
+            ServeError::EmptyModel { venue } => {
+                write!(f, "model for {venue:?} has no reference embeddings")
+            }
+            ServeError::ScanDimensionMismatch { venue, expected, got } => {
+                write!(f, "scan has {got} APs but the model for {venue:?} expects {expected}")
+            }
+            ServeError::QueueFull => write!(f, "request queue full"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A successful localization answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocateResponse {
+    /// The predicted floorplan position.
+    pub position: Point2,
+    /// Version of the model snapshot that produced the answer (see
+    /// [`crate::ModelEntry::version`]) — lets callers attribute every
+    /// response to an exact model across warm reloads.
+    pub model_version: u64,
+}
+
+/// Knobs of one [`LocalizationServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Most requests coalesced into one `locate_batch` call. 1 disables
+    /// batching (every request runs alone — the baseline the micro benches
+    /// compare against).
+    pub max_batch: usize,
+    /// How long an executor holds an under-full batch open for stragglers
+    /// once the queue runs dry. Requests already queued always coalesce
+    /// without waiting (adaptive batching: whatever piled up while the
+    /// previous batch executed forms the next one), so the default of
+    /// **zero** adds no latency and still batches under concurrent load.
+    /// A positive window grows batches further at the cost of p50 latency
+    /// — worthwhile when per-batch fixed cost dominates per-scan cost.
+    pub max_wait: Duration,
+    /// Capacity of the bounded request queue: the backpressure boundary.
+    /// Blocking submits wait for a slot; `try_` submits return
+    /// [`ServeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Batch executor threads. The default 1 is usually right: a coalesced
+    /// batch already fans out across `STONE_THREADS` inside the batched
+    /// kernels. With several executors each runs its batch inside
+    /// [`stone_par::inline_scope`] instead, so concurrent batches never
+    /// oversubscribe the machine (executors × kernel threads).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { max_batch: 64, max_wait: Duration::ZERO, queue_capacity: 1024, workers: 1 }
+    }
+}
+
+impl ServerConfig {
+    fn validate(&self) {
+        assert!(self.max_batch > 0, "max_batch must be at least 1");
+        assert!(self.queue_capacity > 0, "queue_capacity must be at least 1");
+        assert!(self.workers > 0, "workers must be at least 1");
+    }
+}
+
+/// One queued localization request.
+struct Request {
+    venue: String,
+    rssi: Vec<f32>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<LocateResponse, ServeError>>,
+}
+
+enum Job {
+    Locate(Request),
+    /// Consumed by exactly one executor, which drains its current batch and
+    /// exits; [`LocalizationServer::shutdown`] sends one per executor.
+    Shutdown,
+}
+
+/// State shared between the server, its handles and its executors.
+struct Shared {
+    stats: ServerStats,
+    accepting: AtomicBool,
+}
+
+/// A long-running localization service over a [`ModelRegistry`].
+///
+/// See the crate docs for the architecture; the acceptance contract
+/// (coalescing observable in the batch histogram, warm reload with zero
+/// dropped queries, responses bitwise-equal to direct `locate` calls on the
+/// same snapshot) is pinned by `tests/server_smoke.rs`.
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use stone::StoneBuilder;
+/// use stone_dataset::{office_suite, SuiteConfig};
+/// use stone_serve::{LocalizationServer, ModelRegistry, ServerConfig};
+///
+/// let suite = office_suite(&SuiteConfig::tiny(1));
+/// let registry = Arc::new(ModelRegistry::new());
+/// registry.publish("office", StoneBuilder::quick().fit(&suite.train, 1));
+///
+/// let server = LocalizationServer::start(registry, ServerConfig::default());
+/// let handle = server.handle();
+/// let resp = handle.locate("office", &suite.train.records()[0].rssi).unwrap();
+/// println!("located at {} by model v{}", resp.position, resp.model_version);
+/// server.shutdown();
+/// ```
+pub struct LocalizationServer {
+    registry: Arc<ModelRegistry>,
+    tx: SyncSender<Job>,
+    shared: Arc<Shared>,
+    cfg: ServerConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl LocalizationServer {
+    /// Starts the executor threads and returns the running server.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is degenerate (zero `max_batch`,
+    /// `queue_capacity` or `workers`) or a thread cannot be spawned.
+    #[must_use]
+    pub fn start(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Self {
+        cfg.validate();
+        let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            stats: ServerStats::new(cfg.max_batch),
+            accepting: AtomicBool::new(true),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let registry = Arc::clone(&registry);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("stone-serve-{i}"))
+                    .spawn(move || executor_loop(&rx, &registry, &shared, cfg))
+                    .expect("spawn executor thread")
+            })
+            .collect();
+        Self { registry, tx, shared, cfg, workers }
+    }
+
+    /// A cloneable client handle feeding this server's queue.
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { tx: self.tx.clone(), shared: Arc::clone(&self.shared) }
+    }
+
+    /// The registry this server resolves venues against (publish retrained
+    /// models here; the next batch picks them up).
+    #[must_use]
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The server's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// A point-in-time copy of the server's counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stops accepting new requests, drains every request already queued,
+    /// and joins the executor threads. Queued requests are *answered*, not
+    /// dropped — the zero-dropped-queries half of the warm-reload story.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        // One Shutdown per executor, behind everything already queued; a
+        // full queue just means we wait for the drain to make room.
+        for _ in 0..self.workers.len() {
+            let _ = self.tx.send(Job::Shutdown);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LocalizationServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for LocalizationServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LocalizationServer({:?}, venues={})", self.cfg, self.registry.len())
+    }
+}
+
+/// A client-side handle: submit scans, get positions. Cloneable and
+/// shareable across client threads.
+#[derive(Clone)]
+pub struct ServerHandle {
+    tx: SyncSender<Job>,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    fn request(
+        &self,
+        venue: &str,
+        rssi: &[f32],
+    ) -> (Job, mpsc::Receiver<Result<LocateResponse, ServeError>>) {
+        let (reply, rx) = mpsc::channel();
+        let job = Job::Locate(Request {
+            venue: venue.to_string(),
+            rssi: rssi.to_vec(),
+            enqueued: Instant::now(),
+            reply,
+        });
+        (job, rx)
+    }
+
+    /// Enqueues a scan, **blocking while the queue is full** (backpressure),
+    /// and returns a ticket to collect the answer. Submitting without
+    /// immediately waiting is how a client pipelines many scans into one
+    /// coalescing window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShuttingDown`] when the server no longer
+    /// accepts requests.
+    pub fn submit(&self, venue: &str, rssi: &[f32]) -> Result<PendingLocate, ServeError> {
+        if !self.shared.accepting.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (job, rx) = self.request(venue, rssi);
+        // Count the request in *before* the send: a fast executor may pull
+        // and complete it before this thread runs again, and queue_depth
+        // must never transiently underflow.
+        self.shared.stats.record_enqueued();
+        if self.tx.send(job).is_err() {
+            self.shared.stats.record_enqueue_aborted();
+            return Err(ServeError::ShuttingDown);
+        }
+        Ok(PendingLocate { rx })
+    }
+
+    /// Like [`ServerHandle::submit`], but fails fast with
+    /// [`ServeError::QueueFull`] instead of blocking when the bounded queue
+    /// has no slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`] or [`ServeError::ShuttingDown`].
+    pub fn try_submit(&self, venue: &str, rssi: &[f32]) -> Result<PendingLocate, ServeError> {
+        if !self.shared.accepting.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (job, rx) = self.request(venue, rssi);
+        // Same enqueue-before-send ordering as `submit`.
+        self.shared.stats.record_enqueued();
+        match self.tx.try_send(job) {
+            Ok(()) => Ok(PendingLocate { rx }),
+            Err(TrySendError::Full(_)) => {
+                self.shared.stats.record_enqueue_aborted();
+                self.shared.stats.record_rejected();
+                Err(ServeError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.shared.stats.record_enqueue_aborted();
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Submits one scan and blocks until its answer arrives.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`] except `QueueFull` (a full queue blocks instead).
+    pub fn locate(&self, venue: &str, rssi: &[f32]) -> Result<LocateResponse, ServeError> {
+        self.submit(venue, rssi)?.wait()
+    }
+
+    /// Submits one scan, failing fast when the queue is full, and blocks
+    /// until its answer arrives.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`], including `QueueFull`.
+    pub fn try_locate(&self, venue: &str, rssi: &[f32]) -> Result<LocateResponse, ServeError> {
+        self.try_submit(venue, rssi)?.wait()
+    }
+
+    /// A point-in-time copy of the server's counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ServerHandle(queue_depth={})", self.shared.stats.snapshot().queue_depth)
+    }
+}
+
+/// A submitted request whose answer has not been collected yet.
+#[derive(Debug)]
+pub struct PendingLocate {
+    rx: mpsc::Receiver<Result<LocateResponse, ServeError>>,
+}
+
+impl PendingLocate {
+    /// Blocks until the answer arrives.
+    ///
+    /// # Errors
+    ///
+    /// The request's own [`ServeError`], or [`ServeError::ShuttingDown`]
+    /// when the server died before answering.
+    pub fn wait(self) -> Result<LocateResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+/// One executor thread: pull a request, hold the batch open for up to
+/// `max_wait`, execute, repeat.
+fn executor_loop(
+    rx: &Mutex<Receiver<Job>>,
+    registry: &ModelRegistry,
+    shared: &Shared,
+    cfg: ServerConfig,
+) {
+    loop {
+        // The queue lock is held only while *collecting* a batch (which
+        // also serializes the coalescing window across executors); batch
+        // execution runs unlocked so other executors can pull concurrently.
+        let (batch, saw_shutdown) = {
+            let rx = rx.lock().expect("queue lock");
+            let first = match rx.recv() {
+                Err(_) => return, // server and all handles gone
+                Ok(Job::Shutdown) => return,
+                Ok(Job::Locate(req)) => req,
+            };
+            let mut batch = vec![first];
+            let mut saw_shutdown = false;
+            let deadline = Instant::now() + cfg.max_wait;
+            while batch.len() < cfg.max_batch {
+                // Drain whatever is already queued without waiting —
+                // adaptive batching: requests that piled up while the
+                // previous batch executed coalesce for free.
+                match rx.try_recv() {
+                    Ok(Job::Locate(req)) => {
+                        batch.push(req);
+                        continue;
+                    }
+                    Ok(Job::Shutdown) => {
+                        saw_shutdown = true;
+                        break;
+                    }
+                    Err(TryRecvError::Disconnected) => break,
+                    Err(TryRecvError::Empty) => {}
+                }
+                // Queue empty: hold the batch open only inside the
+                // max_wait window (zero by default — see ServerConfig).
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(Job::Locate(req)) => batch.push(req),
+                    Ok(Job::Shutdown) => {
+                        saw_shutdown = true;
+                        break;
+                    }
+                    Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            (batch, saw_shutdown)
+        };
+        execute_batch(registry, shared, &cfg, batch);
+        if saw_shutdown {
+            return;
+        }
+    }
+}
+
+/// Answers every request of one coalesced batch: group by venue, snapshot
+/// each venue's model once (the consistency unit across warm reloads), one
+/// `locate_batch` per group.
+fn execute_batch(
+    registry: &ModelRegistry,
+    shared: &Shared,
+    cfg: &ServerConfig,
+    batch: Vec<Request>,
+) {
+    shared.stats.record_batch(batch.len());
+
+    // Group request indices by venue, preserving first-seen order (batches
+    // hold a handful of venues at most — linear scan beats a map here).
+    let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
+    for (i, r) in batch.iter().enumerate() {
+        match groups.iter_mut().find(|(v, _)| *v == r.venue) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((&r.venue, vec![i])),
+        }
+    }
+
+    let mut results: Vec<Option<Result<LocateResponse, ServeError>>> = Vec::new();
+    results.resize_with(batch.len(), || None);
+    for (venue, idxs) in groups {
+        let Some(entry) = registry.snapshot(venue) else {
+            for &i in &idxs {
+                results[i] = Some(Err(ServeError::UnknownVenue { venue: venue.to_string() }));
+            }
+            continue;
+        };
+        if entry.model().knn().is_empty() {
+            for &i in &idxs {
+                results[i] = Some(Err(ServeError::EmptyModel { venue: venue.to_string() }));
+            }
+            continue;
+        }
+        let expected = entry.model().encoder().codec().ap_count();
+        let mut ok_idx = Vec::with_capacity(idxs.len());
+        for &i in &idxs {
+            let got = batch[i].rssi.len();
+            if got == expected {
+                ok_idx.push(i);
+            } else {
+                results[i] = Some(Err(ServeError::ScanDimensionMismatch {
+                    venue: venue.to_string(),
+                    expected,
+                    got,
+                }));
+            }
+        }
+        if ok_idx.is_empty() {
+            continue;
+        }
+        let scans: Vec<&[f32]> = ok_idx.iter().map(|&i| batch[i].rssi.as_slice()).collect();
+        let positions: Vec<Point2> = if cfg.workers > 1 {
+            // Several executors may be running batches concurrently: each
+            // keeps its kernels inline so the machine is not oversubscribed
+            // (see ServerConfig::workers).
+            stone_par::inline_scope(|| entry.model().locate_batch(&scans))
+        } else {
+            entry.model().locate_batch(&scans)
+        };
+        for (&i, position) in ok_idx.iter().zip(positions) {
+            results[i] = Some(Ok(LocateResponse { position, model_version: entry.version() }));
+        }
+    }
+
+    for (req, result) in batch.into_iter().zip(results) {
+        let result = result.expect("every request of the batch is answered");
+        // Record completion *before* the reply lands: the moment a client's
+        // wait() returns, a stats() snapshot must already account for its
+        // request (the smoke test reads exact counts right after the last
+        // reply).
+        shared.stats.record_completed(req.enqueued.elapsed());
+        // A client that gave up and dropped its ticket is not an error.
+        let _ = req.reply.send(result);
+    }
+}

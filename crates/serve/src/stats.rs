@@ -1,0 +1,235 @@
+//! Server observability: queue depth, batch-size histogram, latency
+//! percentiles.
+//!
+//! The live [`ServerStats`] is a block of atomics shared between client
+//! handles and batch executors — recording a request costs a handful of
+//! relaxed atomic increments, never a lock. [`StatsSnapshot`] is the
+//! plain-data copy handed to callers; percentiles are computed on the
+//! snapshot so the hot path never sorts anything.
+//!
+//! Latencies land in power-of-two microsecond buckets (bucket `i` holds
+//! `[2^i, 2^(i+1))` µs), which bounds the memory at a fixed 40 counters
+//! regardless of traffic volume; a reported percentile is the upper edge of
+//! its bucket, i.e. exact to within 2×.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (2^39 µs ≈ 6.4 days — anything
+/// above clamps into the last bucket).
+const LATENCY_BUCKETS: usize = 40;
+
+/// Shared live counters of one [`crate::LocalizationServer`].
+#[derive(Debug)]
+pub(crate) struct ServerStats {
+    /// Requests currently enqueued or being executed.
+    queue_depth: AtomicUsize,
+    /// Requests accepted into the queue since startup.
+    enqueued: AtomicU64,
+    /// Requests answered (successfully or with a per-request error).
+    completed: AtomicU64,
+    /// Requests rejected at the door because the bounded queue was full.
+    rejected: AtomicU64,
+    /// `batch_hist[s - 1]` counts executed batches of size `s`.
+    batch_hist: Vec<AtomicU64>,
+    /// Power-of-two microsecond latency buckets (enqueue → reply).
+    latency_hist: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl ServerStats {
+    pub(crate) fn new(max_batch: usize) -> Self {
+        Self {
+            queue_depth: AtomicUsize::new(0),
+            enqueued: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            batch_hist: (0..max_batch).map(|_| AtomicU64::new(0)).collect(),
+            latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    pub(crate) fn record_enqueued(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reverts a [`ServerStats::record_enqueued`] whose send never reached
+    /// the queue (channel full or disconnected).
+    pub(crate) fn record_enqueue_aborted(&self) {
+        self.enqueued.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, size: usize) {
+        debug_assert!(size >= 1 && size <= self.batch_hist.len());
+        self.batch_hist[size - 1].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completed(&self, latency: Duration) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let micros = latency.as_micros().max(1) as u64;
+        let bucket = (63 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.latency_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            batch_hist: self.batch_hist.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            latency_hist: self.latency_hist.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a server's counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests currently enqueued or being executed.
+    pub queue_depth: usize,
+    /// Requests accepted into the queue since startup.
+    pub enqueued: u64,
+    /// Requests answered (successfully or with a per-request error).
+    pub completed: u64,
+    /// Requests rejected because the bounded queue was full
+    /// ([`crate::ServerHandle::try_locate`] backpressure).
+    pub rejected: u64,
+    /// `batch_hist[s - 1]` counts executed batches of size `s`.
+    pub batch_hist: Vec<u64>,
+    /// Power-of-two microsecond latency buckets: `latency_hist[i]` counts
+    /// requests whose enqueue→reply latency fell in `[2^i, 2^(i+1))` µs.
+    pub latency_hist: Vec<u64>,
+}
+
+impl StatsSnapshot {
+    /// Number of batches executed.
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.batch_hist.iter().sum()
+    }
+
+    /// Number of executed batches that coalesced more than one request.
+    #[must_use]
+    pub fn coalesced_batches(&self) -> u64 {
+        self.batch_hist.iter().skip(1).sum()
+    }
+
+    /// Mean executed batch size (0.0 when no batch ran yet).
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches = self.batches();
+        if batches == 0 {
+            return 0.0;
+        }
+        let requests: u64 =
+            self.batch_hist.iter().enumerate().map(|(i, &c)| (i as u64 + 1) * c).sum();
+        requests as f64 / batches as f64
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of the enqueue→reply latency,
+    /// resolved to the upper edge of its power-of-two microsecond bucket
+    /// (exact to within 2×). Returns `None` when no request completed yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let total: u64 = self.latency_hist.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        // Rank of the request that decides the quantile (1-based).
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, &c) in self.latency_hist.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Duration::from_micros(1u64 << (i + 1)));
+            }
+        }
+        unreachable!("rank <= total by construction")
+    }
+
+    /// Median enqueue→reply latency (see [`StatsSnapshot::latency_quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> Option<Duration> {
+        self.latency_quantile(0.50)
+    }
+
+    /// 99th-percentile enqueue→reply latency (see
+    /// [`StatsSnapshot::latency_quantile`]).
+    #[must_use]
+    pub fn p99(&self) -> Option<Duration> {
+        self.latency_quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_histogram_counts_by_size() {
+        let stats = ServerStats::new(4);
+        stats.record_batch(1);
+        stats.record_batch(3);
+        stats.record_batch(3);
+        let snap = stats.snapshot();
+        assert_eq!(snap.batch_hist, vec![1, 0, 2, 0]);
+        assert_eq!(snap.batches(), 3);
+        assert_eq!(snap.coalesced_batches(), 2);
+        let mean = snap.mean_batch_size();
+        assert!((mean - 7.0 / 3.0).abs() < 1e-12, "mean {mean}");
+    }
+
+    #[test]
+    fn queue_depth_tracks_enqueue_and_complete() {
+        let stats = ServerStats::new(2);
+        stats.record_enqueued();
+        stats.record_enqueued();
+        assert_eq!(stats.snapshot().queue_depth, 2);
+        stats.record_completed(Duration::from_micros(10));
+        let snap = stats.snapshot();
+        assert_eq!(snap.queue_depth, 1);
+        assert_eq!(snap.enqueued, 2);
+        assert_eq!(snap.completed, 1);
+    }
+
+    #[test]
+    fn latency_quantiles_resolve_to_bucket_edges() {
+        let stats = ServerStats::new(1);
+        // 99 fast requests (~8 µs bucket [8, 16)), 1 slow (~1024 µs).
+        for _ in 0..99 {
+            stats.record_completed(Duration::from_micros(9));
+        }
+        stats.record_completed(Duration::from_micros(1500));
+        let snap = stats.snapshot();
+        assert_eq!(snap.p50(), Some(Duration::from_micros(16)));
+        // Rank ceil(0.99 * 100) = 99 — still in the fast bucket.
+        assert_eq!(snap.p99(), Some(Duration::from_micros(16)));
+        assert_eq!(snap.latency_quantile(1.0), Some(Duration::from_micros(2048)));
+    }
+
+    #[test]
+    fn empty_stats_have_no_quantiles() {
+        let snap = ServerStats::new(1).snapshot();
+        assert_eq!(snap.p50(), None);
+        assert_eq!(snap.mean_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn sub_microsecond_latencies_clamp_into_first_bucket() {
+        let stats = ServerStats::new(1);
+        stats.record_completed(Duration::from_nanos(1));
+        assert_eq!(stats.snapshot().latency_quantile(1.0), Some(Duration::from_micros(2)));
+    }
+}

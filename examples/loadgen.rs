@@ -1,0 +1,174 @@
+//! Load generator for the serving layer: N closed-loop client threads fire
+//! single-scan queries at a [`LocalizationServer`], once with batching
+//! disabled (`max_batch = 1`) and once with coalescing on — the pair of
+//! numbers behind the serving table in `docs/PERFORMANCE.md`. The coalesced
+//! pass also hot-swaps a retrained model mid-run to show warm reload under
+//! load.
+//!
+//! Run with: `cargo run --release --example loadgen`
+//!
+//! Knobs (environment): `LOADGEN_CLIENTS` (default 8), `LOADGEN_REQUESTS`
+//! per client (default 64), `STONE_THREADS` for the kernel thread budget.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use stone_repro::dataset::office_suite;
+use stone_repro::prelude::*;
+use stone_repro::serve::StatsSnapshot;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+}
+
+fn fmt_latency(d: Option<Duration>) -> String {
+    d.map_or_else(|| "-".into(), |d| format!("{:.1?}", d))
+}
+
+struct PassResult {
+    label: &'static str,
+    wall: Duration,
+    stats: StatsSnapshot,
+    answered: usize,
+}
+
+/// The traffic pattern shared by both passes: which venues and scans the
+/// closed-loop clients cycle through, and how many of each.
+struct Workload<'a> {
+    venues: &'a [String],
+    scans: &'a [Vec<f32>],
+    clients: usize,
+    requests: usize,
+}
+
+/// One load pass: `clients` closed-loop threads, `requests` queries each,
+/// round-robin over the venues. Returns wall time and the server's stats.
+fn run_pass(
+    label: &'static str,
+    registry: &Arc<ModelRegistry>,
+    cfg: ServerConfig,
+    load: &Workload<'_>,
+    swap: Option<StoneLocalizer>,
+) -> PassResult {
+    let server = LocalizationServer::start(Arc::clone(registry), cfg);
+    let start = Instant::now();
+    let answered: usize = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..load.clients)
+            .map(|c| {
+                let handle = server.handle();
+                s.spawn(move || {
+                    let mut ok = 0;
+                    for r in 0..load.requests {
+                        let venue = &load.venues[(c + r) % load.venues.len()];
+                        let scan = &load.scans[(c * load.requests + r) % load.scans.len()];
+                        if handle.locate(venue, scan).is_ok() {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        // Warm reload mid-run: publish a retrained model for every venue
+        // while the clients are hammering the queue.
+        if let Some(model) = swap {
+            let blob = model.save();
+            for venue in load.venues {
+                registry.publish_bytes(venue, &blob).expect("retrained model publishes from bytes");
+            }
+        }
+        workers.into_iter().map(|w| w.join().expect("client thread")).sum()
+    });
+    let wall = start.elapsed();
+    let stats = server.stats();
+    server.shutdown();
+    PassResult { label, wall, stats, answered }
+}
+
+fn main() {
+    let clients = env_usize("LOADGEN_CLIENTS", 8);
+    let requests = env_usize("LOADGEN_REQUESTS", 64);
+
+    // A moderately sized deployment: the full office RP path with a short
+    // survey and training schedule (serving cost does not depend on how
+    // long the encoder trained — only on its architecture and the enrolled
+    // reference set).
+    let suite = office_suite(&SuiteConfig::new(7).with_train_fpr(3));
+    let builder = StoneBuilder::from_config(StoneConfig {
+        trainer: stone_repro::core::TrainerConfig {
+            epochs: 2,
+            triplets_per_epoch: 64,
+            batch_size: 32,
+            ..stone_repro::core::TrainerConfig::quick()
+        },
+        ..StoneConfig::quick()
+    });
+    println!("loadgen: training the deployment model...");
+    let model = builder.fit(&suite.train, 7);
+    let retrained = builder.fit(&suite.train, 8);
+    let blob = model.save();
+
+    // Two venues, both published from the serialized blob (the same path a
+    // cross-process retrainer uses).
+    let venues: Vec<String> = vec!["office-east".into(), "office-west".into()];
+    let registry = Arc::new(ModelRegistry::new());
+    for venue in &venues {
+        registry.publish_bytes(venue, &blob).expect("model publishes from bytes");
+    }
+    let scans: Vec<Vec<f32>> = suite.buckets.iter().flat_map(|b| b.raw_scans()).collect();
+    println!(
+        "loadgen: {} clients × {} requests over {} venues ({} refs, {} B model blob, \
+         STONE_THREADS={})",
+        clients,
+        requests,
+        venues.len(),
+        model.knn().len(),
+        blob.len(),
+        stone_repro::par::max_threads(),
+    );
+
+    let load = Workload { venues: &venues, scans: &scans, clients, requests };
+    let uncoalesced = run_pass(
+        "batch-1",
+        &registry,
+        ServerConfig { max_batch: 1, ..ServerConfig::default() },
+        &load,
+        None,
+    );
+    let coalesced = run_pass(
+        "coalesced",
+        &registry,
+        ServerConfig { max_batch: 64, ..ServerConfig::default() },
+        &load,
+        Some(retrained),
+    );
+
+    let total = clients * requests;
+    println!();
+    println!(
+        "{:<11} {:>9} {:>9} {:>9} {:>9} {:>11} {:>10}",
+        "mode", "total", "req/s", "p50", "p99", "mean batch", "batches>1"
+    );
+    for pass in [&uncoalesced, &coalesced] {
+        assert_eq!(pass.answered, total, "{}: dropped queries", pass.label);
+        println!(
+            "{:<11} {:>9.2?} {:>9.0} {:>9} {:>9} {:>11.2} {:>10}",
+            pass.label,
+            pass.wall,
+            total as f64 / pass.wall.as_secs_f64(),
+            fmt_latency(pass.stats.p50()),
+            fmt_latency(pass.stats.p99()),
+            pass.stats.mean_batch_size(),
+            pass.stats.coalesced_batches(),
+        );
+    }
+    println!();
+    println!(
+        "coalescing sped total wall time up {:.2}x; post-reload versions: {:?}",
+        uncoalesced.wall.as_secs_f64() / coalesced.wall.as_secs_f64(),
+        venues
+            .iter()
+            .map(|v| registry.snapshot(v).expect("venue published").version())
+            .collect::<Vec<_>>(),
+    );
+}

@@ -11,7 +11,9 @@
 //! * [`dataset`] — long-term fingerprint datasets and evaluation suites;
 //! * [`core`](mod@core) — the STONE Siamese-encoder framework itself;
 //! * [`baselines`] — KNN (LearnLoc), LT-KNN, GIFT and SCNN comparators;
-//! * [`eval`] — the experiment runner and report rendering.
+//! * [`eval`] — the experiment runner and report rendering;
+//! * [`serve`] — the batching localization server with per-venue model
+//!   registry and warm reload.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
@@ -22,6 +24,7 @@ pub use stone_eval as eval;
 pub use stone_nn as nn;
 pub use stone_par as par;
 pub use stone_radio as radio;
+pub use stone_serve as serve;
 pub use stone_tensor as tensor;
 
 /// Commonly used items, suitable for glob import in examples.
@@ -33,4 +36,5 @@ pub mod prelude {
     };
     pub use stone_eval::{Experiment, ExperimentReport};
     pub use stone_radio::Point2;
+    pub use stone_serve::{LocalizationServer, ModelRegistry, ServerConfig};
 }
