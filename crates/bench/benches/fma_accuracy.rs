@@ -1,0 +1,91 @@
+//! FMA accuracy delta — the figure-bench half of the `STONE_FMA=1`
+//! opt-in story (PR 6).
+//!
+//! Trains one STONE model, then localizes every evaluation scan of the
+//! office suite twice through the batched path: once on the default
+//! backend and once with the contracted FMA microkernel pinned. Reports,
+//! per bucket and overall, how many *predictions* change, the largest
+//! position delta in meters, and the mean-error delta — the evidence
+//! behind PERFORMANCE.md's claim that the kernel-level rounding change
+//! (bounded by the proptest envelope in `crates/tensor`) does not move
+//! localization results.
+//!
+//! Single-scan `locate` uses the narrow (never-contracting) kernels, so
+//! FMA cannot change it at all; the batched path is where the tiled
+//! kernel — and therefore the contraction — actually runs.
+//!
+//! Run: `cargo bench -p stone-bench --bench fma_accuracy`
+
+use stone::{StoneBuilder, StoneConfig, TrainerConfig};
+use stone_bench::{banner, seed, write_artifact};
+use stone_dataset::{office_suite, SuiteConfig};
+use stone_tensor::{fma_available, with_backend, MatmulBackend};
+
+fn main() {
+    banner("FMA delta", "office suite, batched localization, default vs STONE_FMA=1");
+    if !fma_available() {
+        println!("CPU lacks AVX2+FMA: STONE_FMA is a no-op here, nothing to compare.");
+        return;
+    }
+
+    let suite = office_suite(&SuiteConfig::tiny(seed()));
+    let loc = StoneBuilder::from_config(StoneConfig {
+        trainer: TrainerConfig { embed_dim: 4, ..TrainerConfig::quick() },
+        ..StoneConfig::quick()
+    })
+    .fit(&suite.train, seed());
+
+    // A "changed" prediction is one that moves by more than a millimeter —
+    // weighted regression emits continuous coordinates, so the contracted
+    // rounding shifts them by sub-micrometer amounts that no floorplan
+    // resolution can observe; the threshold separates that numeric dust
+    // from an actual different answer (e.g. a different nearest-RP vote).
+    const MEANINGFUL_M: f64 = 1e-3;
+    let mut csv = String::from(
+        "bucket,scans,changed_predictions,max_delta_m,\
+                                mean_err_default_m,mean_err_fma_m\n",
+    );
+    let (mut total, mut changed_total) = (0usize, 0usize);
+    let mut max_delta = 0.0f64;
+    for (bi, bucket) in suite.buckets.iter().enumerate() {
+        let scans: Vec<&[f32]> = bucket
+            .trajectories
+            .iter()
+            .flat_map(|t| t.fingerprints.iter().map(|f| f.rssi.as_slice()))
+            .collect();
+        let truth: Vec<_> =
+            bucket.trajectories.iter().flat_map(|t| t.fingerprints.iter().map(|f| f.pos)).collect();
+        let default = loc.locate_batch(&scans);
+        let fma = with_backend(MatmulBackend::Fma, || loc.locate_batch(&scans));
+
+        let mut changed = 0usize;
+        let mut bucket_max = 0.0f64;
+        let (mut err_d, mut err_f) = (0.0f64, 0.0f64);
+        for ((d, f), t) in default.iter().zip(&fma).zip(&truth) {
+            let delta = d.distance(*f);
+            if delta > MEANINGFUL_M {
+                changed += 1;
+            }
+            bucket_max = bucket_max.max(delta);
+            err_d += d.distance(*t);
+            err_f += f.distance(*t);
+        }
+        let n = scans.len();
+        total += n;
+        changed_total += changed;
+        max_delta = max_delta.max(bucket_max);
+        csv.push_str(&format!(
+            "{bi},{n},{changed},{bucket_max:.6},{:.4},{:.4}\n",
+            err_d / n as f64,
+            err_f / n as f64
+        ));
+    }
+    println!(
+        "{total} scans: {changed_total} predictions moved > {MEANINGFUL_M} m under FMA, \
+         max position delta {max_delta:.2e} m"
+    );
+    if changed_total == 0 {
+        println!("localization predictions unchanged — the opt-in is accuracy-neutral here");
+    }
+    write_artifact("fma_accuracy.csv", &csv);
+}

@@ -17,7 +17,13 @@
 //!   measure the portable fallback instead of AVX2;
 //! * **uncoalesced-vs-coalesced serving** (`stone-serve` with `max_batch`
 //!   1 vs. 64 under 4 closed-loop client threads) — what the batching
-//!   server's adaptive coalescing buys end to end, channels included.
+//!   server's adaptive coalescing buys end to end, channels included;
+//! * **spawn-vs-pool dispatch** (one tiny fork-join region through the
+//!   PR 6 worker pool vs. the scoped-spawn strategy it replaced) — the
+//!   per-region overhead that sets every parallel-dispatch threshold;
+//! * **FMA opt-in** (`matmul` on the `STONE_FMA=1` contracted kernel at
+//!   the serving cube, next to the default AVX2 entry) — the per-core
+//!   headroom the opt-in buys, where the CPU supports it.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
@@ -123,6 +129,66 @@ fn bench_matmul_scalar_vs_tiled(c: &mut Criterion) {
             })
         });
     }
+}
+
+fn bench_dispatch_spawn_vs_pool(c: &mut Criterion) {
+    // The PR 6 tentpole measured directly: the cost of one tiny two-arm
+    // fork-join region through the long-lived worker pool vs. the
+    // spawn-per-region strategy it replaced (reproduced inline with raw
+    // `thread::scope`, the way `par_chunks` used to run). The gap between
+    // these entries is what justified dropping PAR_MIN_MACS 2²⁰ → 2¹⁸ and
+    // the KNN thresholds with it — see docs/PERFORMANCE.md ("Knobs").
+    let mut buf = vec![0.0f32; 16];
+    // Warm the pool so the pool entry measures steady-state dispatch, not
+    // the one-time lazy worker spawn.
+    stone_par::with_threads(2, || stone_par::par_chunks(&mut buf, 8, |_, _| {}));
+    c.bench_function("dispatch/forkjoin_region_pool_2threads", |b| {
+        b.iter(|| {
+            stone_par::with_threads(2, || {
+                stone_par::par_chunks(black_box(&mut buf), 8, |_, block| {
+                    for v in block.iter_mut() {
+                        *v += 1.0;
+                    }
+                });
+            })
+        })
+    });
+    c.bench_function("dispatch/forkjoin_region_scoped_spawn_2threads", |b| {
+        b.iter(|| {
+            std::thread::scope(|s| {
+                let (lo, hi) = buf.split_at_mut(8);
+                s.spawn(|| {
+                    for v in hi.iter_mut() {
+                        *v += 1.0;
+                    }
+                });
+                for v in lo.iter_mut() {
+                    *v += 1.0;
+                }
+            });
+        })
+    });
+    black_box(&buf);
+}
+
+fn bench_matmul_fma(c: &mut Criterion) {
+    use stone_tensor::{fma_available, matmul, rng::uniform_tensor, with_backend, MatmulBackend};
+    if !fma_available() {
+        return; // entry only exists where the opt-in backend can run
+    }
+    let mut rng = StdRng::seed_from_u64(9);
+    let a = uniform_tensor(&mut rng, vec![256, 256], -1.0, 1.0);
+    let b = uniform_tensor(&mut rng, vec![256, 256], -1.0, 1.0);
+    // The STONE_FMA=1 row for docs/PERFORMANCE.md, next to the default
+    // AVX2 entry at the same serving-scale cube; serial to isolate the
+    // kernel (thread scaling is the serial-vs-parallel pair's job).
+    c.bench_function("matmul/256x256x256_fma_serial_1thread", |bch| {
+        bch.iter(|| {
+            stone_par::with_threads(1, || {
+                with_backend(MatmulBackend::Fma, || black_box(matmul(black_box(&a), black_box(&b))))
+            })
+        })
+    });
 }
 
 fn bench_embed_batch(c: &mut Criterion) {
@@ -266,8 +332,10 @@ criterion_group!(
     config = Criterion::default().sample_size(20);
     targets = bench_preprocess,
         bench_encoder_forward,
+        bench_dispatch_spawn_vs_pool,
         bench_matmul_serial_vs_parallel,
         bench_matmul_scalar_vs_tiled,
+        bench_matmul_fma,
         bench_embed_batch,
         bench_locate,
         bench_knn_query,

@@ -111,16 +111,16 @@ impl EmbeddingKnn {
     }
 
     /// Multiply-accumulate count (references × embedding dim) above which
-    /// the brute-force distance sweep is split across threads. Historically
-    /// tied to `stone_tensor::PAR_MIN_MACS`, but decoupled when the tiled
-    /// microkernels (PR 4) raised that constant: the sweep still runs the
-    /// same scalar distance loop as before (~1.5 MAC/ns), so 2¹⁸ MACs is
-    /// ~175 µs of sweep work — already far past the ~22 µs fork-join cost,
-    /// and raising it with the matmul threshold would only delay the
-    /// speedup. Each distance depends only on its own reference entry, so
-    /// the parallel sweep is bitwise identical to the serial one; the
-    /// stable sort that follows is always serial.
-    const PAR_MIN_SWEEP_MACS: usize = 1 << 18;
+    /// the brute-force distance sweep is split across threads. Re-derived
+    /// against the worker pool (PR 6): a fork-join region now costs
+    /// ~3.3 µs (`stone-par`'s `spawn_probe`), and at the sweep's scalar
+    /// ~1.5 MAC/ns, halving the sweep breaks even near 10K MACs; 2¹⁴
+    /// (~11 µs of sweep work) keeps a comfortable margin while engaging
+    /// the parallel sweep on venue-sized registries that the spawn-era
+    /// 2¹⁸ threshold left serial. Each distance depends only on its own
+    /// reference entry, so the parallel sweep is bitwise identical to the
+    /// serial one; the stable selection that follows is always serial.
+    const PAR_MIN_SWEEP_MACS: usize = 1 << 14;
 
     /// Squared distance between a stored embedding and the query.
     fn dist2(e: &[f32], query: &[f32]) -> f32 {
@@ -232,13 +232,17 @@ impl EmbeddingKnn {
     }
 
     /// Minimum `queries × references` pairs before [`EmbeddingKnn::locate_batch`]
-    /// spawns threads; below this the per-region spawn/join overhead (~tens
-    /// of µs) outweighs the sub-µs per-query sweeps.
-    const PAR_MIN_BATCH_WORK: usize = 1 << 15;
+    /// goes parallel; below this the ~3.3 µs pool-dispatch cost per
+    /// fork-join region (PR 6, `stone-par`'s `spawn_probe` — down from
+    /// ~tens of µs when regions spawned threads) outweighs the sub-µs
+    /// per-query sweeps. 2¹² pairs is ~40 µs of sweep work at a typical
+    /// embedding dim; the spawn-era threshold was 2¹⁵, which kept
+    /// serve-sized coalesced batches serial.
+    const PAR_MIN_BATCH_WORK: usize = 1 << 12;
 
     /// Predicts positions for a batch of queries, one thread per block of
     /// queries (`STONE_THREADS` controls the budget) once the total work
-    /// crosses `PAR_MIN_BATCH_WORK` (2¹⁵) query·reference pairs.
+    /// crosses `PAR_MIN_BATCH_WORK` (2¹²) query·reference pairs.
     /// Queries are independent, so the result equals calling
     /// [`EmbeddingKnn::locate`] per query, in order — on either path.
     ///

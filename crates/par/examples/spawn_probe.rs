@@ -1,7 +1,15 @@
 //! Measures the cost of one `par_chunks` fork-join region at a 2-thread
 //! budget against the inline path — the number that sets the matmul
-//! dispatch threshold (`stone_tensor::PAR_MIN_MACS`, re-derived in PR 4;
-//! see the "Knobs" table of `docs/PERFORMANCE.md`).
+//! dispatch threshold (`stone_tensor::PAR_MIN_MACS`; see the "Knobs"
+//! table of `docs/PERFORMANCE.md`).
+//!
+//! Since PR 6 the fork-join arms are dispatched to the long-lived worker
+//! pool, so the two-thread row measures **pool dispatch** (a channel send
+//! plus a join-barrier receive), not thread spawn. The `scoped_spawn`
+//! row reproduces the pre-pool per-region cost — two `thread::scope`
+//! spawns — for the before/after comparison that justified re-deriving
+//! the thresholds (`PAR_MIN_MACS`, `PAR_MIN_SWEEP_MACS`,
+//! `PAR_MIN_BATCH_WORK`).
 //!
 //! ```sh
 //! cargo run --release -p stone-par --example spawn_probe
@@ -11,8 +19,19 @@ use std::time::Instant;
 
 fn main() {
     let mut buf = vec![0.0f32; 16];
-    for (label, nt) in [("inline_1thread", 1), ("forkjoin_2threads", 2)] {
-        let iters = 2000;
+    let iters = 2000u32;
+
+    // Warm the pool so the first measured region doesn't pay the one-time
+    // lazy worker spawn.
+    stone_par::with_threads(2, || {
+        stone_par::par_chunks(&mut buf, 8, |_, block| {
+            for v in block.iter_mut() {
+                *v = 0.0;
+            }
+        });
+    });
+
+    for (label, nt) in [("inline_1thread", 1), ("pool_2threads", 2)] {
         let t0 = Instant::now();
         for _ in 0..iters {
             stone_par::with_threads(nt, || {
@@ -26,4 +45,25 @@ fn main() {
         println!("{label}: {:?}/region", t0.elapsed() / iters);
     }
     assert!(buf.iter().all(|&v| v == 4000.0), "probe work was optimized away");
+
+    // The pre-PR 6 baseline: spawn two scoped threads per region, the way
+    // `par_chunks` used to. Kept here (not in the library) purely so the
+    // spawn-vs-pool delta stays measurable on the current machine.
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::thread::scope(|s| {
+            let (lo, hi) = buf.split_at_mut(8);
+            s.spawn(|| {
+                for v in hi.iter_mut() {
+                    *v += 1.0;
+                }
+            });
+            for v in lo.iter_mut() {
+                *v += 1.0;
+            }
+        });
+    }
+    println!("scoped_spawn_2threads: {:?}/region", t0.elapsed() / iters);
+    assert!(buf.iter().all(|&v| v == 6000.0), "probe work was optimized away");
+    println!("pool workers live: {}", stone_par::pool_threads());
 }

@@ -1,16 +1,24 @@
 //! # stone-par
 //!
-//! Dependency-free scoped data parallelism for the STONE reproduction.
+//! Dependency-free data parallelism for the STONE reproduction.
 //!
 //! The workspace builds offline (crates.io is unreachable, see the `shims/`
 //! vendoring policy), so instead of `rayon` this crate provides the three
-//! fork-join primitives the hot paths actually need, built directly on
-//! [`std::thread::scope`]:
+//! fork-join primitives the hot paths actually need:
 //!
 //! * [`par_chunks`] — partition a mutable buffer into contiguous blocks and
-//!   fill each block on its own thread (the matmul work-split);
+//!   fill each block on its own worker (the matmul work-split);
 //! * [`par_map`] — map a function over a slice, preserving input order;
 //! * [`par_join`] — run two closures concurrently.
+//!
+//! Since PR 6 the primitives dispatch to a lazily-initialized, **long-lived
+//! worker pool** ([`pool`]: channel-fed per-worker queues, join-barrier
+//! completion) instead of spawning scoped threads per region. A fork-join
+//! region now costs ~3 µs instead of ~20–40 µs (`spawn_probe` example),
+//! which is what let the dispatch thresholds above this crate
+//! (`stone_tensor::PAR_MIN_MACS` & co.) drop far enough to parallelize
+//! serve-time small batches. [`shutdown_pool`] tears the workers down (the
+//! next call re-initializes); [`pool_threads`] observes the worker count.
 //!
 //! [`inline_scope`] additionally lets long-lived threads owned by *other*
 //! subsystems (e.g. the serving layer's batch executors) borrow the same
@@ -20,12 +28,13 @@
 //! # Determinism
 //!
 //! Every primitive assigns work by *input position*, never by completion
-//! order: `par_chunks` hands each worker a disjoint, contiguous output
-//! block, and `par_map` stitches per-worker results back together in input
-//! order. A caller that computes each output element independently of the
-//! others therefore produces **bitwise-identical results at any thread
-//! count** — the property the workspace determinism tests
-//! (`tests/parallel_determinism.rs`) pin down.
+//! order or worker identity: `par_chunks` hands each arm a disjoint,
+//! contiguous output block, and `par_map` stitches per-arm results back
+//! together in input order. A caller that computes each output element
+//! independently of the others therefore produces **bitwise-identical
+//! results at any thread count, on any pool state** — the property the
+//! workspace determinism tests (`tests/parallel_determinism.rs`) and the
+//! pool stress test (`tests/pool_stress.rs`) pin down.
 //!
 //! # Thread-count resolution
 //!
@@ -37,11 +46,13 @@
 //! 3. [`std::thread::available_parallelism`].
 //!
 //! The env var is read once per process (`max_threads` sits on per-call hot
-//! paths). Inside a parallel region every arm — spawned workers *and* the
+//! paths). Inside a parallel region every arm — pool workers *and* the
 //! calling thread while it executes its own share — reports a budget of 1,
 //! so nested parallel calls run inline instead of oversubscribing the
 //! machine (for example a parallel experiment runner whose workers call
-//! parallel matmul).
+//! parallel matmul). The budget caps threads *per region*; the pool itself
+//! grows to the largest budget ever requested minus one and holds no
+//! threads before the first dispatch.
 //!
 //! # Example
 //!
@@ -50,8 +61,16 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` since PR 6: the pool module carries the
+// workspace's second audited `unsafe` exception (lifetime erasure behind
+// a join barrier; see `pool`'s module docs), mirroring the AVX2 module in
+// `stone-tensor`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+mod pool;
+
+pub use pool::{pool_threads, shutdown_pool};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -205,22 +224,13 @@ where
     if max_threads() <= 1 {
         return (a(), b());
     }
-    thread::scope(|s| {
-        let hb = s.spawn(|| {
-            let _w = WorkerGuard::enter();
-            b()
-        });
-        let ra = {
-            // The calling thread is `a`'s worker: nested parallel calls in
-            // either arm run inline while the other arm is live.
-            let _w = WorkerGuard::enter();
-            a()
-        };
-        match hb.join() {
-            Ok(rb) => (ra, rb),
-            Err(e) => std::panic::resume_unwind(e),
-        }
-    })
+    let mut ra: Option<A> = None;
+    let mut rb: Option<B> = None;
+    // The calling thread is `a`'s worker (arm 0 runs on the caller); `b`
+    // goes to a pool worker. Both arms run under the worker marking, so
+    // nested parallel calls in either run inline while the other is live.
+    pool::run_region(vec![Box::new(|| ra = Some(a())), Box::new(|| rb = Some(b()))]);
+    (ra.expect("arm a completed"), rb.expect("arm b completed"))
 }
 
 /// Maps `f` over `items` on up to [`max_threads`] threads, preserving input
@@ -251,38 +261,28 @@ where
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
     let chunk = items.len().div_ceil(nt);
-    thread::scope(|s| {
-        // The calling thread maps the first block itself (one fewer spawn
-        // per region); blocks 1.. go to scoped workers.
-        let mut blocks = items.chunks(chunk);
-        let first = blocks.next().expect("items is non-empty here");
-        let handles: Vec<_> = blocks
-            .enumerate()
-            .map(|(bi, block)| {
-                let f = &f;
-                s.spawn(move || {
-                    let _w = WorkerGuard::enter();
-                    block
-                        .iter()
-                        .enumerate()
-                        .map(|(j, t)| f((bi + 1) * chunk + j, t))
-                        .collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        let mut out = Vec::with_capacity(items.len());
-        {
-            let _w = WorkerGuard::enter();
-            out.extend(first.iter().enumerate().map(|(j, t)| f(j, t)));
-        }
-        for h in handles {
-            match h.join() {
-                Ok(part) => out.extend(part),
-                Err(e) => std::panic::resume_unwind(e),
-            }
-        }
-        out
-    })
+    // One result slot per block, indexed by block position: the stitch
+    // order below depends only on the input split, never on which worker
+    // (or the caller — arm 0 maps the first block itself) ran a block.
+    let blocks: Vec<&[T]> = items.chunks(chunk).collect();
+    let mut parts: Vec<Option<Vec<R>>> = (0..blocks.len()).map(|_| None).collect();
+    let arms: Vec<pool::Task<'_>> = blocks
+        .iter()
+        .zip(parts.iter_mut())
+        .enumerate()
+        .map(|(bi, (block, slot))| {
+            let f = &f;
+            Box::new(move || {
+                *slot = Some(block.iter().enumerate().map(|(j, t)| f(bi * chunk + j, t)).collect());
+            }) as pool::Task<'_>
+        })
+        .collect();
+    pool::run_region(arms);
+    let mut out = Vec::with_capacity(items.len());
+    for part in &mut parts {
+        out.extend(part.take().expect("every region arm fills its slot"));
+    }
+    out
 }
 
 /// Splits `data` into contiguous blocks of whole `unit`-element records and
@@ -325,22 +325,18 @@ where
         return;
     }
     let per_block = records.div_ceil(nt);
-    thread::scope(|s| {
-        // The calling thread processes the first block itself (one fewer
-        // spawn per region); blocks 1.. go to scoped workers.
-        let mut blocks = data.chunks_mut(per_block * unit);
-        let first = blocks.next().expect("data is non-empty here");
-        for (bi, block) in blocks.enumerate() {
+    // Disjoint mutable blocks, each an arm; the caller processes block 0
+    // itself while pool workers fill the rest. `run_region` joins every
+    // arm and re-raises their panics.
+    let arms: Vec<pool::Task<'_>> = data
+        .chunks_mut(per_block * unit)
+        .enumerate()
+        .map(|(bi, block)| {
             let f = &f;
-            s.spawn(move || {
-                let _w = WorkerGuard::enter();
-                f((bi + 1) * per_block, block);
-            });
-        }
-        let _w = WorkerGuard::enter();
-        f(0, first);
-        // `thread::scope` joins every worker and re-raises their panics.
-    });
+            Box::new(move || f(bi * per_block, block)) as pool::Task<'_>
+        })
+        .collect();
+    pool::run_region(arms);
 }
 
 #[cfg(test)]

@@ -1,0 +1,281 @@
+//! The long-lived worker pool behind the fork-join primitives.
+//!
+//! Before PR 6 every parallel region spawned fresh scoped threads
+//! (`std::thread::scope`), which cost ~20–40 µs per region on the
+//! reference machine and forced the dispatch thresholds
+//! (`stone_tensor::PAR_MIN_MACS` & co.) high enough to keep serve-time
+//! work serial. This module replaces the per-call spawn with workers that
+//! are spawned once, lazily, and then fed work through **channel-fed
+//! per-worker queues**:
+//!
+//! * The pool is created on the first parallel dispatch and grows on
+//!   demand up to the largest thread budget any region requests, minus
+//!   one (the calling thread always executes the first arm itself).
+//! * Each worker owns an `mpsc` receiver and blocks on it between jobs;
+//!   dispatch is one `send` per remote arm — no thread creation, no
+//!   stack setup, just a queue push and a wakeup.
+//! * A region completes through a **join barrier**: the caller runs its
+//!   own arm, then blocks until every remote arm has reported back on the
+//!   region's completion channel. Worker panics are caught, carried
+//!   across the channel, and re-raised on the caller — the same
+//!   propagation the scoped implementation had.
+//!
+//! # Determinism
+//!
+//! The pool changes *where* an arm runs, never *what* it computes: arms
+//! are constructed from input positions by the primitives in
+//! [`crate`], and results land in per-arm slots indexed by position. The
+//! chunk→result mapping is therefore independent of which worker executes
+//! which arm, preserving the crate's bitwise-determinism contract
+//! (`crates/par/tests/pool_stress.rs` hammers exactly this through one
+//! shared pool).
+//!
+//! # The `unsafe` boundary
+//!
+//! Sending a borrowing closure to a long-lived thread is exactly what the
+//! borrow checker cannot prove safe, so the jobs' lifetimes are erased
+//! ([`erase`]) — the workspace's second audited `unsafe` exception (the
+//! first is the AVX2 microkernel, see DESIGN.md). The safety argument is
+//! the join barrier: [`run_region`] does not return (or unwind) until
+//! every job it sent has been executed or provably dropped, so every
+//! borrow captured by a job strictly outlives the job's execution. The
+//! crate is `deny(unsafe_code)` with a module-local allow, mirroring
+//! `stone-tensor`'s SIMD module.
+//!
+//! # Teardown
+//!
+//! Workers hold only their receiver; every sender lives in the pool's
+//! queue table (plus transient dispatcher clones). [`shutdown_pool`]
+//! drops the pool generation, which disconnects the queues once in-flight
+//! regions finish, and each worker exits after draining its buffer — no
+//! rendezvous, so teardown can never deadlock, and a later dispatch
+//! simply builds a fresh generation. At process exit the blocked workers
+//! are reaped with the process like any detached thread.
+#![allow(unsafe_code)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+
+use crate::WorkerGuard;
+
+/// A borrowing region arm, as built by the fork-join primitives.
+pub(crate) type Task<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// A lifetime-erased arm, as carried by a worker queue.
+type StaticTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// One queued unit of work plus the channel its completion (or panic)
+/// is reported on.
+struct Job {
+    task: StaticTask,
+    done: Sender<thread::Result<()>>,
+}
+
+/// One pool generation: the queue table shared by dispatchers.
+struct PoolShared {
+    /// Send half of every live worker's job queue. Grows on demand within
+    /// a generation; never shrinks (workers outlive idleness by design).
+    queues: Mutex<Vec<Sender<Job>>>,
+    /// Round-robin cursor so consecutive regions spread across workers.
+    cursor: AtomicUsize,
+}
+
+/// The current pool generation. `None` until the first dispatch and after
+/// [`shutdown_pool`]; an `Option` (not `OnceLock`) precisely so teardown
+/// and lazy re-initialization are both possible mid-process.
+static POOL: Mutex<Option<Arc<PoolShared>>> = Mutex::new(None);
+
+/// Live worker threads across all generations (spawned minus exited).
+static LIVE_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Monotonic id source for worker thread names.
+static WORKER_ID: AtomicUsize = AtomicUsize::new(0);
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A panic while holding either pool lock is a bug in this module, not
+    // in the caller's closure (those run unlocked); poison tolerance keeps
+    // one such failure from cascading through every later region.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The current generation, created lazily.
+fn current_pool() -> Arc<PoolShared> {
+    Arc::clone(lock(&POOL).get_or_insert_with(|| {
+        Arc::new(PoolShared { queues: Mutex::new(Vec::new()), cursor: AtomicUsize::new(0) })
+    }))
+}
+
+/// Erases a task's borrow lifetime so it can cross into a long-lived
+/// worker.
+///
+/// # Safety
+///
+/// The caller must not return or unwind until the task has been executed
+/// or dropped — [`run_region`]'s join barrier. Under that contract every
+/// borrow the task captures outlives its use.
+unsafe fn erase(task: Task<'_>) -> StaticTask {
+    std::mem::transmute(task)
+}
+
+/// A worker: block on the queue, run one job, report, repeat. Exits when
+/// the queue disconnects (its generation was torn down), after draining
+/// any jobs still buffered — a sent job is therefore always retired.
+fn worker_loop(rx: &Receiver<Job>) {
+    // Workers permanently report a budget of 1 (nested calls run inline).
+    let _w = WorkerGuard::enter();
+    while let Ok(job) = rx.recv() {
+        let result = catch_unwind(AssertUnwindSafe(job.task));
+        // A region whose caller already unwound (another arm panicked
+        // first and the barrier drained without reading) is not an error.
+        let _ = job.done.send(result);
+    }
+}
+
+/// Spawns one worker and registers its queue.
+fn spawn_worker(queues: &mut Vec<Sender<Job>>) {
+    let (tx, rx) = channel::<Job>();
+    let id = WORKER_ID.fetch_add(1, Ordering::Relaxed);
+    LIVE_WORKERS.fetch_add(1, Ordering::SeqCst);
+    let spawned = thread::Builder::new().name(format!("stone-par-{id}")).spawn(move || {
+        /// Decrements the live count however the worker exits.
+        struct Live;
+        impl Drop for Live {
+            fn drop(&mut self) {
+                LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let _live = Live;
+        worker_loop(&rx);
+    });
+    if let Err(e) = spawned {
+        LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
+        panic!("failed to spawn stone-par worker: {e}");
+    }
+    queues.push(tx);
+}
+
+impl PoolShared {
+    /// Queues of `n` *distinct* workers, growing the pool if it has fewer.
+    /// Distinctness keeps one region's arms from serializing behind each
+    /// other; concurrent regions may still share workers, whose queues
+    /// simply buffer — workers never wait on anything but their queue, so
+    /// sharing delays work, never deadlocks it.
+    fn assign(&self, n: usize) -> Vec<Sender<Job>> {
+        let mut queues = lock(&self.queues);
+        while queues.len() < n {
+            spawn_worker(&mut queues);
+        }
+        let len = queues.len();
+        let start = self.cursor.fetch_add(n, Ordering::Relaxed);
+        (0..n).map(|i| queues[(start + i) % len].clone()).collect()
+    }
+}
+
+/// Runs every arm of one parallel region: the first on the calling
+/// thread (under the worker marking, so nested calls run inline), the
+/// rest on pool workers. Returns — or re-raises the first panic — only
+/// after **every** arm has retired; that barrier is what makes the
+/// lifetime erasure sound.
+pub(crate) fn run_region(arms: Vec<Task<'_>>) {
+    let mut arms = arms.into_iter();
+    let Some(first) = arms.next() else { return };
+    let remote: Vec<Task<'_>> = arms.collect();
+    if remote.is_empty() {
+        let _w = WorkerGuard::enter();
+        first();
+        return;
+    }
+
+    let pool = current_pool();
+    let queues = pool.assign(remote.len());
+    let (done_tx, done_rx) = channel::<thread::Result<()>>();
+    let mut pending = 0usize;
+    // Arms whose worker queue disconnected under a concurrent
+    // `shutdown_pool` race run on the caller instead — never dropped.
+    let mut orphaned: Vec<StaticTask> = Vec::new();
+    for (task, queue) in remote.into_iter().zip(&queues) {
+        // SAFETY: this function does not return or unwind past the
+        // completion loop below, which waits until every sent job has been
+        // executed or dropped; the borrows in `task` outlive its run.
+        let task = unsafe { erase(task) };
+        match queue.send(Job { task, done: done_tx.clone() }) {
+            Ok(()) => pending += 1,
+            Err(disconnected) => orphaned.push(disconnected.0.task),
+        }
+    }
+    drop(done_tx); // completions now disconnect once all jobs retire
+
+    // The caller is its own worker for the first arm (and any orphans);
+    // its panic is deferred so the barrier below always runs.
+    let mut first_panic = catch_unwind(AssertUnwindSafe(|| {
+        let _w = WorkerGuard::enter();
+        first();
+        for task in orphaned.drain(..) {
+            task();
+        }
+    }))
+    .err();
+
+    // The join barrier: every sent job reports exactly once (workers
+    // catch task panics), and a disconnect means the remaining jobs were
+    // dropped un-run with their borrows released — either way no borrow
+    // escapes this frame.
+    while pending > 0 {
+        match done_rx.recv() {
+            Ok(Ok(())) => pending -= 1,
+            Ok(Err(panic)) => {
+                pending -= 1;
+                if first_panic.is_none() {
+                    first_panic = Some(panic);
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    if let Some(panic) = first_panic {
+        resume_unwind(panic);
+    }
+}
+
+/// Tears down the current pool generation.
+///
+/// Worker queues disconnect once in-flight regions drop their handles, so
+/// every worker drains whatever was already queued, then exits; nothing
+/// blocks, nothing is dropped un-run, and teardown can race active
+/// dispatchers freely (they either finish on the old generation or start
+/// a fresh one). The next parallel call lazily re-initializes the pool.
+///
+/// Needed only by tests and by hosts that want a quiescent process (e.g.
+/// before `fork`); normal programs just exit, which reaps the blocked
+/// workers with the process.
+///
+/// # Example
+///
+/// ```
+/// let doubled = stone_par::par_map(&[1, 2, 3], |_, &x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// stone_par::shutdown_pool(); // workers exit; the next call re-inits
+/// let tripled = stone_par::par_map(&[1, 2, 3], |_, &x| x * 3);
+/// assert_eq!(tripled, vec![3, 6, 9]);
+/// ```
+pub fn shutdown_pool() {
+    drop(lock(&POOL).take());
+}
+
+/// Number of live pool worker threads (all generations; exiting workers
+/// leave the count as they die). 0 before the first parallel dispatch —
+/// the pool is lazy — and shortly after [`shutdown_pool`].
+///
+/// # Example
+///
+/// ```
+/// // Probing the count is always safe, even before any dispatch.
+/// let _ = stone_par::pool_threads();
+/// ```
+#[must_use]
+pub fn pool_threads() -> usize {
+    LIVE_WORKERS.load(Ordering::SeqCst)
+}

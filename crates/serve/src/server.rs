@@ -102,7 +102,9 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Batch executor threads. The default 1 is usually right: a coalesced
     /// batch already fans out across `STONE_THREADS` inside the batched
-    /// kernels. With several executors each runs its batch inside
+    /// kernels (via the long-lived `stone-par` worker pool, so entering a
+    /// parallel region costs microseconds, not a thread spawn). With
+    /// several executors each runs its batch inside
     /// [`stone_par::inline_scope`] instead, so concurrent batches never
     /// oversubscribe the machine (executors × kernel threads).
     pub workers: usize,

@@ -43,8 +43,8 @@ mod tensor;
 pub use conv::{col2im, col2im_from, im2col, im2col_into, Conv2dGeometry};
 pub use error::TensorError;
 pub use matmul::{
-    matmul, matmul_a_bt, matmul_a_bt_scalar, matmul_at_b, matmul_at_b_scalar, matmul_scalar,
-    simd_available, with_backend, MatmulBackend, PAR_MIN_MACS,
+    fma_available, matmul, matmul_a_bt, matmul_a_bt_scalar, matmul_at_b, matmul_at_b_scalar,
+    matmul_scalar, simd_available, with_backend, MatmulBackend, PAR_MIN_MACS,
 };
 pub use reduce::{argmax, mean_all, softmax_rows, sum_all, sum_axis0};
 pub use tensor::Tensor;

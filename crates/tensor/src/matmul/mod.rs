@@ -53,7 +53,7 @@ mod reference;
 #[cfg(target_arch = "x86_64")]
 mod simd;
 
-pub use microkernel::{simd_available, with_backend, MatmulBackend};
+pub use microkernel::{fma_available, simd_available, with_backend, MatmulBackend};
 pub use reference::{matmul_a_bt_scalar, matmul_at_b_scalar, matmul_scalar};
 
 use microkernel::{LANES, TILE_ROWS};
@@ -61,14 +61,17 @@ use microkernel::{LANES, TILE_ROWS};
 use crate::Tensor;
 
 /// Multiply-accumulate count (`m·k·n`) below which the dispatchers stay
-/// serial. Re-derived for the tiled kernels (PR 4): one fork-join region
-/// costs ~22 µs at a 2-thread budget (`stone-par`'s `spawn_probe`
-/// example), and splitting a product in half must save more than that to
-/// pay off. At the tiled kernels' ~25 MAC/ns, that puts break-even near
-/// 2²⁰ MACs (~42 µs of work); the pre-tiling scalar kernels (~8 MAC/ns)
-/// broke even a factor of ~4 earlier, at 2¹⁸. See `docs/PERFORMANCE.md`
-/// ("Knobs") for the measurement.
-pub const PAR_MIN_MACS: usize = 1 << 20;
+/// serial. Re-derived against the worker pool (PR 6): one fork-join
+/// region now costs ~3.3 µs at a 2-thread budget (`stone-par`'s
+/// `spawn_probe` example — pool dispatch, down from ~22–28 µs when every
+/// region spawned scoped threads), and splitting a product in half must
+/// save more than that to pay off. At the tiled kernels' ~25 MAC/ns,
+/// break-even sits near 2·3.3 µs ≈ 165K MACs; 2¹⁸ (~10.5 µs of work,
+/// ~5.2 µs saved per extra thread) keeps a ~1.6× margin over dispatch
+/// jitter. The old spawn-era threshold was 2²⁰ — the pool is what lets
+/// serve-time small products parallelize at all. See
+/// `docs/PERFORMANCE.md` ("Knobs") for the measurement.
+pub const PAR_MIN_MACS: usize = 1 << 18;
 
 /// Whether a product with `macs` total multiply-accumulates is worth
 /// dispatching through the thread pool (which resolves the actual thread
@@ -460,10 +463,15 @@ mod tests {
     fn tiled_kernel_matches_naive_triple_loop_bitwise() {
         // Ragged everywhere: 67 % 8 = 3 rows, 9 % 8 = 1 lane, k = 130.
         // The canonical accumulation order means bit-equality with the
-        // naive loop, not approximate agreement.
+        // naive loop, not approximate agreement. Pinned to the portable
+        // backend: the contract is mul-then-add per update, which the
+        // opt-in FMA backend deliberately contracts away (a STONE_FMA=1
+        // environment must not fail this test; Simd↔Portable equality is
+        // covered by `backends_are_bitwise_identical_on_ragged_shapes`).
+        let _g = microkernel::backend_test_lock();
         let a = pseudo(&[67, 130], 5);
         let b = pseudo(&[130, 9], 6);
-        let c = matmul(&a, &b);
+        let c = with_backend(MatmulBackend::Portable, || matmul(&a, &b));
         for i in 0..67 {
             for j in 0..9 {
                 let mut acc = 0.0f32;
@@ -500,16 +508,22 @@ mod tests {
         // Products are row-independent, so rows 0..3 of a 12-row (tiled)
         // product must be bit-equal to the 3-row (narrow-path) product of
         // the same rows — crossing TILE_MIN_ROWS never changes numbers.
+        // Pinned to portable: the narrow kernels never contract, so under
+        // the opt-in FMA backend the tiled and narrow paths legitimately
+        // diverge (documented on `MatmulBackend::Fma`).
+        let _g = microkernel::backend_test_lock();
         let a = pseudo(&[12, 31], 60);
         let b = pseudo(&[31, 17], 61);
         let bt = pseudo(&[17, 31], 62);
         let a3 = Tensor::from_vec(vec![3, 31], a.as_slice()[..3 * 31].to_vec()).unwrap();
-        let full = matmul(&a, &b);
-        let narrow = matmul(&a3, &b);
-        assert_eq!(&full.as_slice()[..narrow.len()], narrow.as_slice());
-        let full = matmul_a_bt(&a, &bt);
-        let narrow = matmul_a_bt(&a3, &bt);
-        assert_eq!(&full.as_slice()[..narrow.len()], narrow.as_slice());
+        with_backend(MatmulBackend::Portable, || {
+            let full = matmul(&a, &b);
+            let narrow = matmul(&a3, &b);
+            assert_eq!(&full.as_slice()[..narrow.len()], narrow.as_slice());
+            let full = matmul_a_bt(&a, &bt);
+            let narrow = matmul_a_bt(&a3, &bt);
+            assert_eq!(&full.as_slice()[..narrow.len()], narrow.as_slice());
+        });
         // at_b: the narrow axis is the inner dimension; compare a 3-step
         // (narrow) sum against the naive loop to pin the canonical order.
         let at = pseudo(&[3, 9], 63);
@@ -529,13 +543,18 @@ mod tests {
     #[test]
     fn scalar_reference_agrees_with_tiled_kernels() {
         // The PR 3 scalar kernels share the canonical accumulation order,
-        // so on data with no exact zeros they are bit-equal too.
+        // so on data with no exact zeros they are bit-equal too. Pinned to
+        // portable — the scalar references never contract, so the opt-in
+        // FMA backend legitimately diverges from them.
+        let _g = microkernel::backend_test_lock();
         let a = pseudo(&[23, 17], 50);
         let b = pseudo(&[17, 19], 51);
         let at = pseudo(&[17, 23], 52);
         let bt = pseudo(&[19, 17], 53);
-        assert_eq!(matmul(&a, &b), matmul_scalar(&a, &b));
-        assert_eq!(matmul_at_b(&at, &b), matmul_at_b_scalar(&at, &b));
-        assert_eq!(matmul_a_bt(&a, &bt), matmul_a_bt_scalar(&a, &bt));
+        with_backend(MatmulBackend::Portable, || {
+            assert_eq!(matmul(&a, &b), matmul_scalar(&a, &b));
+            assert_eq!(matmul_at_b(&at, &b), matmul_at_b_scalar(&at, &b));
+            assert_eq!(matmul_a_bt(&a, &bt), matmul_a_bt_scalar(&a, &bt));
+        });
     }
 }
