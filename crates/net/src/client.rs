@@ -1,0 +1,206 @@
+//! A blocking (optionally pipelining) client for the framed-TCP protocol.
+//!
+//! [`NetClient::locate`] is the one-call path: send a scan, wait for its
+//! answer. The fleet loadgen instead **pipelines**: [`NetClient::send`]
+//! fires requests open-loop and [`NetClient::try_recv`] opportunistically
+//! drains whatever responses have arrived, matching them back to requests
+//! by the echoed id — which is what lets one thread simulate a device that
+//! keeps scanning regardless of how far behind the server is.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::codec::{
+    decode_response, encode_request, FrameBuffer, ScanRequest, ScanResponse, WireError,
+    WirePosition, WireStatus,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A socket error (includes timeouts on the blocking paths).
+    Io(std::io::Error),
+    /// The server sent bytes that do not parse as a response frame.
+    Wire(WireError),
+    /// The request itself violates the wire caps and was never sent.
+    Encode(WireError),
+    /// The server closed the connection (EOF).
+    Closed,
+    /// The server answered the request with a wire error code.
+    Status(WireStatus),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Wire(e) => write!(f, "bad response frame: {e}"),
+            ClientError::Encode(e) => write!(f, "request violates wire caps: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Status(s) => write!(f, "server error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One framed-TCP connection to a [`crate::NetServer`].
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects to a server. `TCP_NODELAY` is enabled — frames are small
+    /// and latency-sensitive.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from connecting.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, frames: FrameBuffer::new(), next_id: 1 })
+    }
+
+    /// The local socket address.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from the socket.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.local_addr()
+    }
+
+    /// Sends one scan without waiting, returning the request id its
+    /// response will echo (ids count up from 1 per connection).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Encode`] when the request violates the wire caps
+    /// (nothing is sent), or [`ClientError::Io`] from the socket.
+    pub fn send(&mut self, venue: &str, rssi: &[f32]) -> Result<u64, ClientError> {
+        let request_id = self.next_id;
+        let frame = encode_request(&ScanRequest {
+            request_id,
+            venue: venue.to_string(),
+            rssi: rssi.to_vec(),
+        })
+        .map_err(ClientError::Encode)?;
+        self.stream.write_all(&frame)?;
+        self.next_id += 1;
+        Ok(request_id)
+    }
+
+    /// Pops one response if a complete frame has already arrived, without
+    /// blocking. Returns `Ok(None)` when the socket has nothing ready.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Closed`] on EOF, [`ClientError::Wire`] on an
+    /// unparseable frame, or [`ClientError::Io`].
+    pub fn try_recv(&mut self) -> Result<Option<ScanResponse>, ClientError> {
+        if let Some(payload) = self.frames.next_payload().map_err(ClientError::Wire)? {
+            return decode_response(&payload).map(Some).map_err(ClientError::Wire);
+        }
+        self.stream.set_nonblocking(true)?;
+        let fill = self.fill_from_socket();
+        self.stream.set_nonblocking(false)?;
+        let closed = match fill {
+            Ok(()) => false,
+            Err(ClientError::Closed) => true,
+            Err(e) => return Err(e),
+        };
+        match self.frames.next_payload().map_err(ClientError::Wire)? {
+            Some(payload) => decode_response(&payload).map(Some).map_err(ClientError::Wire),
+            // EOF with no frame ready: surface the close.
+            None if closed => Err(ClientError::Closed),
+            None => Ok(None),
+        }
+    }
+
+    /// Blocks until the next response arrives (in completion order, which
+    /// for pipelined traffic is not necessarily send order).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Closed`] on EOF, [`ClientError::Wire`] on an
+    /// unparseable frame, or [`ClientError::Io`] (including read
+    /// timeouts configured on the socket).
+    pub fn recv(&mut self) -> Result<ScanResponse, ClientError> {
+        loop {
+            if let Some(payload) = self.frames.next_payload().map_err(ClientError::Wire)? {
+                return decode_response(&payload).map_err(ClientError::Wire);
+            }
+            let mut buf = [0u8; 4096];
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Err(ClientError::Closed),
+                Ok(n) => self.frames.push_bytes(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Sends one scan and blocks until **its** answer arrives (responses
+    /// to other pipelined requests received meanwhile are decoded and
+    /// dropped — use [`NetClient::send`]/[`NetClient::recv`] directly when
+    /// pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; a server-side error code surfaces as
+    /// [`ClientError::Status`].
+    pub fn locate(&mut self, venue: &str, rssi: &[f32]) -> Result<WirePosition, ClientError> {
+        let id = self.send(venue, rssi)?;
+        loop {
+            let resp = self.recv()?;
+            if resp.request_id == id {
+                return resp.result.map_err(ClientError::Status);
+            }
+        }
+    }
+
+    /// Sets the blocking-read timeout used by [`NetClient::recv`] /
+    /// [`NetClient::locate`] (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from the socket.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Half-closes the write side, telling the server this client will
+    /// send no more requests (pending responses can still be read).
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from the socket.
+    pub fn finish_sending(&self) -> std::io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Drains socket bytes into the frame buffer until `WouldBlock`.
+    fn fill_from_socket(&mut self) -> Result<(), ClientError> {
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Err(ClientError::Closed),
+                Ok(n) => self.frames.push_bytes(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}

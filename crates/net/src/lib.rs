@@ -1,0 +1,44 @@
+//! # stone-net
+//!
+//! The framed-TCP front-end for [`stone_serve`]: the wire that turns the
+//! in-process batching localization server into something phones on a
+//! venue's network can actually query. Std-only (a `TcpListener`, threads
+//! and channels — the workspace builds offline; see the `shims/` policy).
+//!
+//! Three pieces:
+//!
+//! * [`codec`] — a length-prefixed, versioned binary protocol for scan
+//!   requests and position responses, with hard caps on frame size, venue
+//!   length and AP count enforced *before* any allocation. Hostile bytes
+//!   produce a [`WireError`], never a panic.
+//! * [`NetServer`] — an accept loop plus a reader/writer thread pair per
+//!   connection. Readers feed the inner server's bounded queue through the
+//!   fail-fast callback submit, so a full queue becomes a wire-visible
+//!   [`WireStatus::Shed`] response instead of a stalled connection;
+//!   writers send responses back in completion order. Shutdown drains
+//!   gracefully: stop accepting, half-close reads, answer everything
+//!   accepted, flush, join every thread.
+//! * [`NetClient`] — a blocking client that can also pipeline: fire
+//!   requests open-loop and drain responses opportunistically, matching
+//!   them by the echoed request id (what `examples/loadgen.rs`'s fleet
+//!   simulator runs on).
+//!
+//! A misbehaving connection — half-open, truncated mid-frame, dribbling
+//! bytes, sending garbage — affects only itself: the worst it gets is a
+//! [`WireStatus::Malformed`] goodbye and a close, while every other
+//! connection keeps being served (`tests/fault_injection.rs` pins this).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+
+mod client;
+mod server;
+
+pub use client::{ClientError, NetClient};
+pub use codec::{
+    ScanRequest, ScanResponse, WireError, WirePosition, WireStatus, MAX_AP_COUNT, MAX_FRAME_LEN,
+    MAX_VENUE_LEN, PROTOCOL_VERSION,
+};
+pub use server::{NetServer, NetStatsSnapshot};

@@ -1,0 +1,408 @@
+//! The framed-TCP listener in front of a [`LocalizationServer`].
+//!
+//! One accept thread, and per connection a **reader** thread (decode
+//! frames, feed the server's bounded queue via the fail-fast callback
+//! submit) and a **writer** thread (encode and send response frames in the
+//! order answers become available — completion order, so a shed response
+//! for a late request overtakes the answer to an earlier queued one).
+//! Backpressure is wire-visible: a full queue sheds the request with
+//! [`WireStatus::Shed`] instead of stalling the connection or panicking.
+//!
+//! Shutdown drains gracefully: stop accepting, half-close the read side of
+//! every connection (no new requests), answer everything already accepted,
+//! flush and half-close the write sides, join every thread.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use stone_serve::{LocalizationServer, ModelRegistry, ServerConfig, ServerHandle, StatsSnapshot};
+
+use crate::codec::{
+    decode_request, encode_response, ScanResponse, WirePosition, WireStatus, MAX_FRAME_LEN,
+};
+
+/// Live wire-level counters of one [`NetServer`], shared across its
+/// connection threads (relaxed atomics — same recording discipline as
+/// `stone-serve`'s `ServerStats`).
+#[derive(Debug, Default)]
+struct NetStats {
+    connections_accepted: AtomicU64,
+    connections_closed: AtomicU64,
+    requests_decoded: AtomicU64,
+    responses_written: AtomicU64,
+    shed: AtomicU64,
+    malformed_frames: AtomicU64,
+}
+
+/// A point-in-time copy of a [`NetServer`]'s wire-level counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// Connections accepted since startup.
+    pub connections_accepted: u64,
+    /// Connections fully torn down (writer flushed and exited).
+    pub connections_closed: u64,
+    /// Request frames successfully decoded.
+    pub requests_decoded: u64,
+    /// Response frames written to sockets (including error responses).
+    pub responses_written: u64,
+    /// Requests shed at the door with [`WireStatus::Shed`] (the wire view
+    /// of the server's `rejected` counter).
+    pub shed: u64,
+    /// Frames that failed to parse; each one closed its connection after a
+    /// [`WireStatus::Malformed`] goodbye.
+    pub malformed_frames: u64,
+}
+
+impl NetStats {
+    fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            requests_decoded: self.requests_decoded.load(Ordering::Relaxed),
+            responses_written: self.responses_written.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared between the accept loop and the connection threads.
+struct NetShared {
+    accepting: AtomicBool,
+    stats: NetStats,
+    handle: ServerHandle,
+    conns: Mutex<Vec<Conn>>,
+}
+
+/// One live connection's threads plus a stream clone for half-closing.
+/// The handles are `Option` only so shutdown can join the readers first
+/// (drain order) and the writers after the inner server flushed.
+struct Conn {
+    stream: TcpStream,
+    reader: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl Conn {
+    fn is_finished(&self) -> bool {
+        self.reader.as_ref().is_none_or(JoinHandle::is_finished)
+            && self.writer.as_ref().is_none_or(JoinHandle::is_finished)
+    }
+}
+
+/// A framed-TCP localization server: a [`LocalizationServer`] with a wire.
+///
+/// # Example
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use stone::StoneBuilder;
+/// use stone_dataset::{office_suite, SuiteConfig};
+/// use stone_net::{NetClient, NetServer};
+/// use stone_serve::{ModelRegistry, ServerConfig};
+///
+/// let suite = office_suite(&SuiteConfig::tiny(1));
+/// let registry = Arc::new(ModelRegistry::new());
+/// registry.publish("office", StoneBuilder::quick().fit(&suite.train, 1));
+///
+/// let server = NetServer::start(registry, "127.0.0.1:0", ServerConfig::default()).unwrap();
+/// let mut client = NetClient::connect(server.local_addr()).unwrap();
+/// let pos = client.locate("office", &suite.train.records()[0].rssi).unwrap();
+/// println!("located at ({}, {}) by model v{}", pos.x, pos.y, pos.model_version);
+/// server.shutdown();
+/// ```
+pub struct NetServer {
+    addr: SocketAddr,
+    shared: Arc<NetShared>,
+    accept: Option<JoinHandle<()>>,
+    server: Option<LocalizationServer>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `registry` with a fresh inner [`LocalizationServer`] built from
+    /// `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from binding the listener.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Self> {
+        Self::start_with(LocalizationServer::start(registry, cfg), addr)
+    }
+
+    /// Puts a wire in front of an already-running [`LocalizationServer`] —
+    /// the composition point that lets tests start the inner server
+    /// *paused* ([`LocalizationServer::start_paused`]) to pin the
+    /// backpressure contract deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from binding the listener.
+    pub fn start_with(
+        server: LocalizationServer,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(NetShared {
+            accepting: AtomicBool::new(true),
+            stats: NetStats::default(),
+            handle: server.handle(),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("stone-net-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn accept thread")
+        };
+        Ok(Self { addr: local, shared, accept: Some(accept), server: Some(server) })
+    }
+
+    /// The bound address (resolves the ephemeral port of `0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Unparks the inner server's executors (see
+    /// [`LocalizationServer::resume`]). A no-op unless it was started
+    /// paused.
+    pub fn resume(&self) {
+        if let Some(server) = &self.server {
+            server.resume();
+        }
+    }
+
+    /// A point-in-time copy of the wire-level counters.
+    #[must_use]
+    pub fn stats(&self) -> NetStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// A point-in-time copy of the inner [`LocalizationServer`]'s counters
+    /// (queue depth, batch histogram, latency buckets).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after `shutdown` (the inner server is gone).
+    #[must_use]
+    pub fn serve_stats(&self) -> StatsSnapshot {
+        self.server.as_ref().expect("server running").stats()
+    }
+
+    /// Gracefully drains and tears the whole front-end down:
+    ///
+    /// 1. stop accepting (new connects are refused once the listener
+    ///    closes);
+    /// 2. half-close the **read** side of every connection — no new
+    ///    requests, but nothing already accepted is lost;
+    /// 3. shut the inner server down, which answers every queued request
+    ///    (their callbacks enqueue response frames);
+    /// 4. writers flush those frames, half-close the **write** sides and
+    ///    exit; every thread is joined before this returns.
+    ///
+    /// Returns the final wire-level counters — the only way to observe
+    /// `connections_closed` at its settled value, since every writer has
+    /// exited by the time this returns.
+    pub fn shutdown(mut self) -> NetStatsSnapshot {
+        self.shutdown_inner();
+        self.shared.stats.snapshot()
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept) = self.accept.take() else { return };
+        self.shared.accepting.store(false, Ordering::SeqCst);
+        // The accept loop is parked in accept(); a loopback connect wakes
+        // it so it can observe the flag and drop the listener.
+        drop(TcpStream::connect(self.addr));
+        let _ = accept.join();
+
+        let mut conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns lock"));
+        for conn in &conns {
+            let _ = conn.stream.shutdown(Shutdown::Read);
+        }
+        for conn in &mut conns {
+            // Readers exit on the EOF the half-close produced, after
+            // submitting whatever complete frames they had already read;
+            // they only block in read(), never in submit (try_submit_with
+            // is non-blocking), so this join cannot deadlock.
+            if let Some(reader) = conn.reader.take() {
+                let _ = reader.join();
+            }
+        }
+        // Drains the bounded queue: every accepted request is *answered*
+        // (callbacks fire, enqueueing response frames on the writers).
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+        // With all callback senders consumed and the readers gone, each
+        // writer's channel disconnects once it has flushed everything.
+        for mut conn in conns {
+            if let Some(writer) = conn.writer.take() {
+                let _ = writer.join();
+            }
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for NetServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NetServer({})", self.addr)
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<NetShared>) {
+    for stream in listener.incoming() {
+        if !shared.accepting.load(Ordering::SeqCst) {
+            // The wake-up connect (or a straggler) lands here; dropping
+            // the listener refuses everything after it.
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        let mut conns = shared.conns.lock().expect("conns lock");
+        // Reap connections whose threads already finished so a long-lived
+        // server's list tracks live connections, not history.
+        conns.retain(|c| !c.is_finished());
+        conns.push(spawn_connection(stream, shared));
+    }
+}
+
+/// Spawns the reader/writer pair for one accepted connection.
+fn spawn_connection(stream: TcpStream, shared: &Arc<NetShared>) -> Conn {
+    // Response frames are small and latency-sensitive; never Nagle them.
+    let _ = stream.set_nodelay(true);
+    let (tx, rx) = mpsc::channel::<ScanResponse>();
+    let reader = {
+        let stream = stream.try_clone().expect("clone stream");
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("stone-net-read".into())
+            .spawn(move || reader_loop(stream, &shared, &tx))
+            .expect("spawn reader thread")
+    };
+    let writer = {
+        let stream = stream.try_clone().expect("clone stream");
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("stone-net-write".into())
+            .spawn(move || writer_loop(stream, &shared, &rx))
+            .expect("spawn writer thread")
+    };
+    Conn { stream, reader: Some(reader), writer: Some(writer) }
+}
+
+/// Reads frames off one connection and feeds the server's bounded queue.
+/// Exits on EOF, read error, or an unparseable frame (after queueing a
+/// [`WireStatus::Malformed`] goodbye — framing errors are not recoverable
+/// in-stream).
+fn reader_loop(stream: TcpStream, shared: &Arc<NetShared>, tx: &Sender<ScanResponse>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut len_buf = [0u8; 4];
+        if reader.read_exact(&mut len_buf).is_err() {
+            return; // peer closed (or drain half-closed our read side)
+        }
+        let declared = u32::from_le_bytes(len_buf) as usize;
+        if declared > MAX_FRAME_LEN {
+            // Reject before allocating: an attacker-declared length never
+            // reserves memory. (Lengths too short for a header fall through
+            // to decode_request, which rejects them as Truncated.)
+            goodbye(shared, tx);
+            return;
+        }
+        let mut payload = vec![0u8; declared];
+        if reader.read_exact(&mut payload).is_err() {
+            return; // truncated mid-frame: peer gone
+        }
+        let req = match decode_request(&payload) {
+            Ok(req) => req,
+            Err(_) => {
+                goodbye(shared, tx);
+                return;
+            }
+        };
+        shared.stats.requests_decoded.fetch_add(1, Ordering::Relaxed);
+        let reply_tx = tx.clone();
+        let reply_shared = Arc::clone(shared);
+        let request_id = req.request_id;
+        let submitted = shared.handle.try_submit_with(&req.venue, &req.rssi, move |result| {
+            let result = match result {
+                Ok(resp) => Ok(WirePosition {
+                    x: resp.position.x,
+                    y: resp.position.y,
+                    model_version: resp.model_version,
+                }),
+                Err(e) => {
+                    let status = WireStatus::from(&e);
+                    if status == WireStatus::Shed {
+                        reply_shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(status)
+                }
+            };
+            // The writer being gone (peer vanished) is not an error.
+            drop(reply_tx.send(ScanResponse { request_id, result }));
+        });
+        // QueueFull was already answered through the callback (that is the
+        // wire-visible shed); only a draining server ends the read loop.
+        if matches!(submitted, Err(stone_serve::ServeError::ShuttingDown)) {
+            return;
+        }
+    }
+}
+
+/// Queues the request-id-0 Malformed goodbye that precedes closing a
+/// desynchronized connection.
+fn goodbye(shared: &NetShared, tx: &Sender<ScanResponse>) {
+    shared.stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
+    drop(tx.send(ScanResponse { request_id: 0, result: Err(WireStatus::Malformed) }));
+}
+
+/// Writes response frames in the order answers arrive (completion order),
+/// flushing whenever the channel runs momentarily dry so latency never
+/// waits on the buffer filling up.
+fn writer_loop(stream: TcpStream, shared: &Arc<NetShared>, rx: &Receiver<ScanResponse>) {
+    let half_close = stream.try_clone();
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let resp = match rx.try_recv() {
+            Ok(resp) => resp,
+            Err(TryRecvError::Empty) => {
+                if writer.flush().is_err() {
+                    break;
+                }
+                match rx.recv() {
+                    Ok(resp) => resp,
+                    Err(_) => break, // reader gone and every callback fired
+                }
+            }
+            Err(TryRecvError::Disconnected) => break,
+        };
+        if writer.write_all(&encode_response(&resp)).is_err() {
+            break; // peer gone; pending callbacks tolerate the dead channel
+        }
+        shared.stats.responses_written.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = writer.flush();
+    if let Ok(stream) = half_close {
+        let _ = stream.shutdown(Shutdown::Write);
+    }
+    shared.stats.connections_closed.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,41 @@
+//! Shared fixtures for the stone-net integration suites: a tiny trained
+//! localizer (small enough to fit in a test's time budget, real enough to
+//! produce meaningful positions) and a registry holding it.
+
+#![allow(dead_code)] // each test binary uses a subset of these helpers
+
+use std::sync::Arc;
+
+use stone::{KnnMode, StoneBuilder, StoneConfig, StoneLocalizer, TrainerConfig};
+use stone_dataset::{office_suite, LongTermSuite, SuiteConfig};
+use stone_serve::ModelRegistry;
+
+/// A tiny office deployment: fast to generate, deterministic per seed.
+pub fn tiny_suite(seed: u64) -> LongTermSuite {
+    office_suite(&SuiteConfig::tiny(seed))
+}
+
+/// Trains a small model on the suite's survey (mirrors the stone-serve
+/// test fixture).
+pub fn tiny_localizer(suite: &LongTermSuite, seed: u64) -> StoneLocalizer {
+    StoneBuilder::from_config(StoneConfig {
+        trainer: TrainerConfig {
+            embed_dim: 4,
+            epochs: 1,
+            triplets_per_epoch: 16,
+            batch_size: 8,
+            ..TrainerConfig::quick()
+        },
+        knn_k: 3,
+        knn_mode: KnnMode::WeightedRegression,
+    })
+    .fit(&suite.train, seed)
+}
+
+/// A registry with one published venue, plus the suite it was trained on.
+pub fn office_registry(seed: u64) -> (Arc<ModelRegistry>, LongTermSuite) {
+    let suite = tiny_suite(seed);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("office", tiny_localizer(&suite, seed));
+    (registry, suite)
+}

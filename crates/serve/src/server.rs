@@ -11,7 +11,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -124,12 +124,57 @@ impl ServerConfig {
     }
 }
 
+/// How a request's answer travels back to whoever submitted it.
+enum Reply {
+    /// In-process submit: the sending half of a [`PendingLocate`] ticket.
+    Channel(mpsc::Sender<Result<LocateResponse, ServeError>>),
+    /// Callback submit ([`ServerHandle::try_submit_with`]): invoked exactly
+    /// once from the executor thread — the wire front-end path, where the
+    /// callback enqueues a response frame on the connection's writer.
+    Callback(ReplyCallback),
+}
+
+impl Reply {
+    fn send(self, result: Result<LocateResponse, ServeError>) {
+        match self {
+            // A client that gave up and dropped its ticket is not an error.
+            Reply::Channel(tx) => drop(tx.send(result)),
+            Reply::Callback(cb) => cb.call(result),
+        }
+    }
+}
+
+/// The boxed form of a [`ServerHandle::try_submit_with`] callback.
+type BoxedReply = Box<dyn FnOnce(Result<LocateResponse, ServeError>) + Send>;
+
+/// An exactly-once reply callback with a drop guarantee: if the server ever
+/// drops a request without answering it (torn down mid-flight), the callback
+/// still fires with [`ServeError::ShuttingDown`], so a wire front-end can
+/// always send *some* response frame and its writer never hangs.
+struct ReplyCallback(Option<BoxedReply>);
+
+impl ReplyCallback {
+    fn call(mut self, result: Result<LocateResponse, ServeError>) {
+        if let Some(f) = self.0.take() {
+            f(result);
+        }
+    }
+}
+
+impl Drop for ReplyCallback {
+    fn drop(&mut self) {
+        if let Some(f) = self.0.take() {
+            f(Err(ServeError::ShuttingDown));
+        }
+    }
+}
+
 /// One queued localization request.
 struct Request {
     venue: String,
     rssi: Vec<f32>,
     enqueued: Instant,
-    reply: mpsc::Sender<Result<LocateResponse, ServeError>>,
+    reply: Reply,
 }
 
 enum Job {
@@ -143,6 +188,22 @@ enum Job {
 struct Shared {
     stats: ServerStats,
     accepting: AtomicBool,
+    /// While `true`, executors park before collecting a batch: requests
+    /// accumulate in the bounded queue but none executes. This is the
+    /// deterministic window [`LocalizationServer::start_paused`] opens for
+    /// the backpressure contract tests.
+    paused: Mutex<bool>,
+    resume_cv: Condvar,
+}
+
+impl Shared {
+    fn resume(&self) {
+        let mut paused = self.paused.lock().expect("pause lock");
+        if *paused {
+            *paused = false;
+            self.resume_cv.notify_all();
+        }
+    }
 }
 
 /// A long-running localization service over a [`ModelRegistry`].
@@ -187,12 +248,39 @@ impl LocalizationServer {
     /// `queue_capacity` or `workers`) or a thread cannot be spawned.
     #[must_use]
     pub fn start(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Self {
+        Self::start_inner(registry, cfg, false)
+    }
+
+    /// Like [`LocalizationServer::start`], but the executors begin *parked*:
+    /// submits are accepted into the bounded queue (up to `queue_capacity`)
+    /// yet nothing executes until [`LocalizationServer::resume`] is called.
+    /// This turns "queue full" from a race into a deterministic state — the
+    /// backpressure contract tests fill the queue, observe exactly the
+    /// overflow being shed, then resume.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`LocalizationServer::start`].
+    #[must_use]
+    pub fn start_paused(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Self {
+        Self::start_inner(registry, cfg, true)
+    }
+
+    /// Unparks the executors of a [`LocalizationServer::start_paused`]
+    /// server. Idempotent; a no-op on a server started normally.
+    pub fn resume(&self) {
+        self.shared.resume();
+    }
+
+    fn start_inner(registry: Arc<ModelRegistry>, cfg: ServerConfig, paused: bool) -> Self {
         cfg.validate();
         let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_capacity);
         let rx = Arc::new(Mutex::new(rx));
         let shared = Arc::new(Shared {
             stats: ServerStats::new(cfg.max_batch),
             accepting: AtomicBool::new(true),
+            paused: Mutex::new(paused),
+            resume_cv: Condvar::new(),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -245,6 +333,9 @@ impl LocalizationServer {
             return;
         }
         self.shared.accepting.store(false, Ordering::SeqCst);
+        // Parked executors must wake up to drain (and to make room for the
+        // Shutdown jobs below when the queue is full).
+        self.shared.resume();
         // One Shutdown per executor, behind everything already queued; a
         // full queue just means we wait for the drain to make room.
         for _ in 0..self.workers.len() {
@@ -287,7 +378,7 @@ impl ServerHandle {
             venue: venue.to_string(),
             rssi: rssi.to_vec(),
             enqueued: Instant::now(),
-            reply,
+            reply: Reply::Channel(reply),
         });
         (job, rx)
     }
@@ -340,6 +431,63 @@ impl ServerHandle {
             }
             Err(TrySendError::Disconnected(_)) => {
                 self.shared.stats.record_enqueue_aborted();
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Like [`ServerHandle::try_submit`], but the answer is delivered by
+    /// invoking `reply` from the executor thread instead of through a
+    /// [`PendingLocate`] ticket — the submit path a wire front-end uses to
+    /// write responses back in **completion order** (a shed response for a
+    /// late request can overtake the answer to an earlier queued one).
+    ///
+    /// The callback is invoked **exactly once** for every call, including
+    /// failed submits: on [`ServeError::QueueFull`] /
+    /// [`ServeError::ShuttingDown`] it fires inline with that error (and the
+    /// same error is also returned, so the caller can stop reading without
+    /// inspecting responses). If the server is torn down with the request
+    /// still queued, the callback fires with `ShuttingDown`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`] or [`ServeError::ShuttingDown`];
+    /// the callback has already been invoked with the same error.
+    pub fn try_submit_with<F>(&self, venue: &str, rssi: &[f32], reply: F) -> Result<(), ServeError>
+    where
+        F: FnOnce(Result<LocateResponse, ServeError>) + Send + 'static,
+    {
+        let cb = ReplyCallback(Some(Box::new(reply)));
+        if !self.shared.accepting.load(Ordering::SeqCst) {
+            cb.call(Err(ServeError::ShuttingDown));
+            return Err(ServeError::ShuttingDown);
+        }
+        let job = Job::Locate(Request {
+            venue: venue.to_string(),
+            rssi: rssi.to_vec(),
+            enqueued: Instant::now(),
+            reply: Reply::Callback(cb),
+        });
+        // Same enqueue-before-send ordering as `submit`.
+        self.shared.stats.record_enqueued();
+        let reclaim = |job: Job| match job {
+            Job::Locate(req) => match req.reply {
+                Reply::Callback(cb) => cb,
+                Reply::Channel(_) => unreachable!("submitted job carries a callback reply"),
+            },
+            Job::Shutdown => unreachable!("submitted job is a Locate"),
+        };
+        match self.tx.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(job)) => {
+                self.shared.stats.record_enqueue_aborted();
+                self.shared.stats.record_rejected();
+                reclaim(job).call(Err(ServeError::QueueFull));
+                Err(ServeError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(job)) => {
+                self.shared.stats.record_enqueue_aborted();
+                reclaim(job).call(Err(ServeError::ShuttingDown));
                 Err(ServeError::ShuttingDown)
             }
         }
@@ -404,6 +552,14 @@ fn executor_loop(
     cfg: ServerConfig,
 ) {
     loop {
+        // Park while paused (`start_paused`): the bounded queue keeps
+        // accepting but nothing executes until `resume` — see Shared::paused.
+        {
+            let mut paused = shared.paused.lock().expect("pause lock");
+            while *paused {
+                paused = shared.resume_cv.wait(paused).expect("pause lock");
+            }
+        }
         // The queue lock is held only while *collecting* a batch (which
         // also serializes the coalescing window across executors); batch
         // execution runs unlocked so other executors can pull concurrently.
@@ -531,7 +687,6 @@ fn execute_batch(
         // request (the smoke test reads exact counts right after the last
         // reply).
         shared.stats.record_completed(req.enqueued.elapsed());
-        // A client that gave up and dropped its ticket is not an error.
-        let _ = req.reply.send(result);
+        req.reply.send(result);
     }
 }

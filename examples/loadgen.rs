@@ -1,29 +1,52 @@
-//! Load generator for the serving layer: N closed-loop client threads fire
-//! single-scan queries at a [`LocalizationServer`], once with batching
-//! disabled (`max_batch = 1`) and once with coalescing on — the pair of
-//! numbers behind the serving table in `docs/PERFORMANCE.md`. The coalesced
-//! pass also hot-swaps a retrained model mid-run to show warm reload under
-//! load.
+//! Load generator for the serving stack, in two acts.
+//!
+//! **Act 1 (in-process baseline):** N closed-loop client threads fire
+//! single-scan queries straight at a [`LocalizationServer`], once with
+//! batching disabled (`max_batch = 1`) and once with coalescing on — the
+//! pair of numbers behind the serving table in `docs/PERFORMANCE.md`. The
+//! coalesced pass also hot-swaps a retrained model mid-run to show warm
+//! reload under load.
+//!
+//! **Act 2 (fleet over TCP):** the same registry goes behind a
+//! [`NetServer`] on loopback, and a fleet of `LOADGEN_VENUES ×
+//! LOADGEN_FLEET_CLIENTS` synthetic phones hammers it with **open-loop
+//! Poisson arrivals** (each client keeps scanning on its own clock, however
+//! far behind the server falls) through a **device-heterogeneity mix** of
+//! `stone-radio` measurement models (chipset offsets, detection
+//! thresholds, integer quantization). Reported per venue: throughput,
+//! p50/p99 wire latency, shed and timeout counts — backpressure is supposed
+//! to be visible here, not a panic.
 //!
 //! Run with: `cargo run --release --example loadgen`
 //!
-//! Knobs (environment): `LOADGEN_CLIENTS` (default 8), `LOADGEN_REQUESTS`
-//! per client (default 64), `STONE_THREADS` for the kernel thread budget.
+//! Knobs (environment): `LOADGEN_CLIENTS` / `LOADGEN_REQUESTS` for act 1;
+//! `LOADGEN_VENUES`, `LOADGEN_FLEET_CLIENTS` (per venue), `LOADGEN_RATE`
+//! (per-client Hz), `LOADGEN_SECONDS`, `LOADGEN_ADDR` for act 2;
+//! `STONE_THREADS` for the kernel thread budget.
 
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use stone_repro::dataset::office_suite;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stone_repro::dataset::{office_suite, MISSING_RSSI_DBM};
+use stone_repro::net::{codec::fmt_latency, ClientError, NetClient, NetServer, WireStatus};
 use stone_repro::prelude::*;
+use stone_repro::radio::DeviceModel;
 use stone_repro::serve::StatsSnapshot;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(default)
 }
 
-fn fmt_latency(d: Option<Duration>) -> String {
-    d.map_or_else(|| "-".into(), |d| format!("{:.1?}", d))
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0.0).unwrap_or(default)
 }
+
+// ---------------------------------------------------------------- act 1 --
 
 struct PassResult {
     label: &'static str,
@@ -32,8 +55,8 @@ struct PassResult {
     answered: usize,
 }
 
-/// The traffic pattern shared by both passes: which venues and scans the
-/// closed-loop clients cycle through, and how many of each.
+/// The traffic pattern shared by both in-process passes: which venues and
+/// scans the closed-loop clients cycle through, and how many of each.
 struct Workload<'a> {
     venues: &'a [String],
     scans: &'a [Vec<f32>],
@@ -85,9 +108,174 @@ fn run_pass(
     PassResult { label, wall, stats, answered }
 }
 
+// ---------------------------------------------------------------- act 2 --
+
+/// The fleet's device-heterogeneity mix: clients cycle through these, so a
+/// venue's traffic blends ideal captures with offset, thresholded and
+/// quantized chipsets (the PortLoc/SHERPA concern, live on the wire).
+fn device_mix() -> Vec<(&'static str, DeviceModel)> {
+    vec![
+        ("lg-v20", DeviceModel::lg_v20()),
+        ("ideal", DeviceModel::ideal()),
+        ("lg-v20 −6 dB", DeviceModel { offset_db: -6.0, ..DeviceModel::lg_v20() }),
+        ("lg-v20 +3 dB", DeviceModel { offset_db: 3.0, ..DeviceModel::lg_v20() }),
+    ]
+}
+
+/// Re-measures a survey scan through a device model: visible APs pass
+/// through `observe` (offset, threshold, quantization), missing APs stay
+/// missing.
+fn through_device(rssi: &[f32], dev: &DeviceModel) -> Vec<f32> {
+    rssi.iter()
+        .map(|&v| {
+            if v > MISSING_RSSI_DBM {
+                dev.observe(f64::from(v)).map_or(MISSING_RSSI_DBM, |o| o as f32)
+            } else {
+                v
+            }
+        })
+        .collect()
+}
+
+/// What one synthetic phone saw: counters plus the latency sample of its
+/// successful queries.
+#[derive(Default)]
+struct ClientReport {
+    sent: u64,
+    ok: u64,
+    shed: u64,
+    other_errors: u64,
+    timeouts: u64,
+    latencies: Vec<Duration>,
+}
+
+impl ClientReport {
+    fn absorb(&mut self, other: ClientReport) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.other_errors += other.other_errors;
+        self.timeouts += other.timeouts;
+        self.latencies.extend(other.latencies);
+    }
+
+    fn percentile(&mut self, p: f64) -> Option<Duration> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        self.latencies.sort_unstable();
+        let idx = ((self.latencies.len() as f64 - 1.0) * p).round() as usize;
+        Some(self.latencies[idx])
+    }
+}
+
+/// One synthetic phone: open-loop Poisson arrivals at `rate_hz` until the
+/// deadline, responses drained opportunistically and matched by id. Open
+/// loop means the schedule does not wait for answers — when the server
+/// falls behind, requests pile up in flight (and get shed), exactly like a
+/// real fleet.
+fn fleet_client(
+    addr: SocketAddr,
+    venue: &str,
+    scans: &[Vec<f32>],
+    rate_hz: f64,
+    deadline: Instant,
+    seed: u64,
+) -> ClientReport {
+    let mut report = ClientReport::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let Ok(mut client) = NetClient::connect(addr) else {
+        report.other_errors += 1;
+        return report;
+    };
+    let mut in_flight: HashMap<u64, Instant> = HashMap::new();
+
+    let record = |resp: stone_repro::net::ScanResponse,
+                  in_flight: &mut HashMap<u64, Instant>,
+                  report: &mut ClientReport| {
+        let Some(sent_at) = in_flight.remove(&resp.request_id) else { return };
+        match resp.result {
+            Ok(_) => {
+                report.ok += 1;
+                report.latencies.push(sent_at.elapsed());
+            }
+            Err(WireStatus::Shed) => report.shed += 1,
+            Err(_) => report.other_errors += 1,
+        }
+    };
+
+    let mut next_send = Instant::now();
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        if now >= next_send {
+            let scan = &scans[rng.gen_range(0..scans.len())];
+            match client.send(venue, scan) {
+                Ok(id) => {
+                    in_flight.insert(id, Instant::now());
+                    report.sent += 1;
+                }
+                Err(_) => break, // server gone: report what we have
+            }
+            // Poisson arrivals: exponential gaps. The schedule is absolute
+            // (`next_send += gap`), so a stalled socket bursts to catch up
+            // instead of silently lowering the offered rate.
+            let u: f64 = rng.gen();
+            next_send += Duration::from_secs_f64(-(1.0 - u).ln() / rate_hz);
+            continue;
+        }
+        // Until the next arrival is due, wait *on the socket* rather than
+        // spin-polling: a blocking read bounded by the idle gap records
+        // answers the moment they land and burns no CPU the server needs.
+        let idle = next_send.min(deadline).saturating_duration_since(now);
+        if idle.is_zero() {
+            continue;
+        }
+        if in_flight.is_empty() {
+            std::thread::sleep(idle);
+        } else {
+            let _ = client.set_read_timeout(Some(idle));
+            match client.recv() {
+                Ok(resp) => record(resp, &mut in_flight, &mut report),
+                Err(ClientError::Io(e))
+                    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    // Grace drain: the run is over, but in-flight requests deserve their
+    // answers. Whatever is still unanswered when the grace expires (or the
+    // server closes) is a timeout.
+    let _ = client.finish_sending();
+    let _ = client.set_read_timeout(Some(Duration::from_secs(5)));
+    while !in_flight.is_empty() {
+        match client.recv() {
+            Ok(resp) => record(resp, &mut in_flight, &mut report),
+            // Closed, read timeout, or wire error: everything left is a
+            // timeout from this phone's point of view.
+            Err(_) => break,
+        }
+    }
+    report.timeouts = in_flight.len() as u64;
+    report
+}
+
+// ------------------------------------------------------------------------
+
 fn main() {
     let clients = env_usize("LOADGEN_CLIENTS", 8);
     let requests = env_usize("LOADGEN_REQUESTS", 64);
+    let n_venues = env_usize("LOADGEN_VENUES", 1);
+    let fleet_clients = env_usize("LOADGEN_FLEET_CLIENTS", 8);
+    let rate_hz = env_f64("LOADGEN_RATE", 600.0);
+    let seconds = env_f64("LOADGEN_SECONDS", 2.0);
+    // Set: act 2 drives an already-running server (e.g. `examples/netserve`)
+    // at that address, which must serve the same `venue-NN` names. Unset:
+    // act 2 spawns its own server on an ephemeral loopback port.
+    let remote_addr = std::env::var("LOADGEN_ADDR").ok();
 
     // A moderately sized deployment: the full office RP path with a short
     // survey and training schedule (serving cost does not depend on how
@@ -108,17 +296,17 @@ fn main() {
     let retrained = builder.fit(&suite.train, 8);
     let blob = model.save();
 
-    // Two venues, both published from the serialized blob (the same path a
-    // cross-process retrainer uses).
-    let venues: Vec<String> = vec!["office-east".into(), "office-west".into()];
+    // Every venue serves the same blob (the same path a cross-process
+    // retrainer uses): what varies per venue is only its traffic.
+    let venues: Vec<String> = (0..n_venues).map(|v| format!("venue-{v:02}")).collect();
     let registry = Arc::new(ModelRegistry::new());
     for venue in &venues {
         registry.publish_bytes(venue, &blob).expect("model publishes from bytes");
     }
     let scans: Vec<Vec<f32>> = suite.buckets.iter().flat_map(|b| b.raw_scans()).collect();
     println!(
-        "loadgen: {} clients × {} requests over {} venues ({} refs, {} B model blob, \
-         STONE_THREADS={})",
+        "loadgen: act 1: {} closed-loop clients × {} requests over {} venue(s) \
+         ({} refs, {} B model blob, STONE_THREADS={})",
         clients,
         requests,
         venues.len(),
@@ -162,13 +350,142 @@ fn main() {
             pass.stats.coalesced_batches(),
         );
     }
+    let inproc_rps = total as f64 / coalesced.wall.as_secs_f64();
+    println!(
+        "\ncoalescing sped total wall time up {:.2}x\n",
+        uncoalesced.wall.as_secs_f64() / coalesced.wall.as_secs_f64(),
+    );
+
+    // Act 2: the same registry behind the TCP front-end, under an open-loop
+    // fleet. Offered load: venues × clients × rate, regardless of how fast
+    // the server answers.
+    let mix = device_mix();
+    let server = match &remote_addr {
+        Some(_) => None,
+        None => Some(
+            NetServer::start(
+                Arc::clone(&registry),
+                "127.0.0.1:0",
+                ServerConfig { max_batch: 64, ..ServerConfig::default() },
+            )
+            .expect("bind loadgen address"),
+        ),
+    };
+    let server_addr: SocketAddr = match (&server, &remote_addr) {
+        (Some(s), _) => s.local_addr(),
+        (None, Some(a)) => a
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut addrs| addrs.next())
+            .expect("LOADGEN_ADDR resolves to a socket address"),
+        (None, None) => unreachable!("no server and no remote address"),
+    };
+    println!(
+        "loadgen: act 2: fleet of {n_venues} venue(s) × {fleet_clients} phones at \
+         {rate_hz:.0} Hz each for {seconds:.1}s against {server_addr} \
+         (offered ≈ {:.0} req/s, device mix: {})",
+        n_venues as f64 * fleet_clients as f64 * rate_hz,
+        mix.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", "),
+    );
+
+    let fleet_start = Instant::now();
+    let deadline = fleet_start + Duration::from_secs_f64(seconds);
+    let mut per_venue: Vec<(String, ClientReport)> = std::thread::scope(|s| {
+        let phones: Vec<_> = venues
+            .iter()
+            .enumerate()
+            .flat_map(|(v, venue)| (0..fleet_clients).map(move |c| (v, venue, c)))
+            .map(|(v, venue, c)| {
+                let (_, device) = mix[(v * fleet_clients + c) % mix.len()];
+                // Each phone re-measures the survey scans through its own
+                // chipset once, up front — the per-request work is pure
+                // traffic.
+                let phone_scans: Vec<Vec<f32>> =
+                    scans.iter().map(|r| through_device(r, &device)).collect();
+                s.spawn(move || {
+                    let seed = ((v as u64) << 32) | c as u64;
+                    (v, fleet_client(server_addr, venue, &phone_scans, rate_hz, deadline, seed))
+                })
+            })
+            .collect();
+        let mut per_venue: Vec<(String, ClientReport)> =
+            venues.iter().map(|v| (v.clone(), ClientReport::default())).collect();
+        for phone in phones {
+            let (v, report) = phone.join().expect("fleet client thread");
+            per_venue[v].1.absorb(report);
+        }
+        per_venue
+    });
+    let fleet_wall = fleet_start.elapsed();
+    let ledger = server.map(|s| (s.serve_stats(), s.shutdown()));
+
     println!();
     println!(
-        "coalescing sped total wall time up {:.2}x; post-reload versions: {:?}",
-        uncoalesced.wall.as_secs_f64() / coalesced.wall.as_secs_f64(),
-        venues
-            .iter()
-            .map(|v| registry.snapshot(v).expect("venue published").version())
-            .collect::<Vec<_>>(),
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "venue", "sent", "ok", "shed", "timeout", "ok/s", "p50", "p99"
+    );
+    let mut fleet_total = ClientReport::default();
+    for (venue, report) in &mut per_venue {
+        let (p50, p99) = (report.percentile(0.50), report.percentile(0.99));
+        println!(
+            "{:<10} {:>8} {:>8} {:>8} {:>8} {:>9.0} {:>9} {:>9}",
+            venue,
+            report.sent,
+            report.ok,
+            report.shed,
+            report.timeouts,
+            report.ok as f64 / fleet_wall.as_secs_f64(),
+            fmt_latency(p50),
+            fmt_latency(p99),
+        );
+        let taken = std::mem::take(report);
+        fleet_total.absorb(taken);
+    }
+    let fleet_rps = fleet_total.ok as f64 / fleet_wall.as_secs_f64();
+    let (p50, p99) = (fleet_total.percentile(0.50), fleet_total.percentile(0.99));
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>9.0} {:>9} {:>9}",
+        "TOTAL",
+        fleet_total.sent,
+        fleet_total.ok,
+        fleet_total.shed,
+        fleet_total.timeouts,
+        fleet_rps,
+        fmt_latency(p50),
+        fmt_latency(p99),
+    );
+    println!();
+    if let Some((serve_stats, wire)) = &ledger {
+        println!(
+            "fleet wall {:.2?}; wire: {} decoded, {} responses, {} shed, {} malformed; \
+             serve: {} completed, {} rejected, mean batch {:.2}",
+            fleet_wall,
+            wire.requests_decoded,
+            wire.responses_written,
+            wire.shed,
+            wire.malformed_frames,
+            serve_stats.completed,
+            serve_stats.rejected,
+            serve_stats.mean_batch_size(),
+        );
+        assert_eq!(fleet_total.sent, wire.requests_decoded, "every sent frame was decoded");
+    } else {
+        println!(
+            "fleet wall {fleet_wall:.2?}; the remote server at {server_addr} keeps \
+             the wire/serve ledger"
+        );
+    }
+    println!(
+        "TCP fleet at {} venue(s) sustains {:.0} ok/s vs {:.0} req/s in-process coalesced \
+         ({:.0}% of in-process)",
+        n_venues,
+        fleet_rps,
+        inproc_rps,
+        100.0 * fleet_rps / inproc_rps,
+    );
+    assert_eq!(
+        fleet_total.ok + fleet_total.shed + fleet_total.other_errors + fleet_total.timeouts,
+        fleet_total.sent,
+        "every request is accounted for: ok + shed + errors + timeouts"
     );
 }

@@ -13,7 +13,9 @@
 //! * [`baselines`] — KNN (LearnLoc), LT-KNN, GIFT and SCNN comparators;
 //! * [`eval`] — the experiment runner and report rendering;
 //! * [`serve`] — the batching localization server with per-venue model
-//!   registry and warm reload.
+//!   registry and warm reload;
+//! * [`net`] — the framed-TCP front-end (wire codec, listener, client) in
+//!   front of the server.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
@@ -21,6 +23,7 @@ pub use stone as core;
 pub use stone_baselines as baselines;
 pub use stone_dataset as dataset;
 pub use stone_eval as eval;
+pub use stone_net as net;
 pub use stone_nn as nn;
 pub use stone_par as par;
 pub use stone_radio as radio;
@@ -35,6 +38,7 @@ pub mod prelude {
         SuiteKind,
     };
     pub use stone_eval::{Experiment, ExperimentReport};
+    pub use stone_net::{NetClient, NetServer};
     pub use stone_radio::Point2;
     pub use stone_serve::{LocalizationServer, ModelRegistry, ServerConfig};
 }
