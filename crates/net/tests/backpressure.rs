@@ -29,6 +29,7 @@ fn overflow_is_shed_on_the_wire_and_ledgers_agree() {
             max_wait: Duration::ZERO,
             queue_capacity: CAPACITY,
             workers: 1,
+            ..ServerConfig::default()
         },
     );
     let server = NetServer::start_with(inner, "127.0.0.1:0").expect("bind ephemeral port");

@@ -61,6 +61,7 @@ fn drain_cycle(registry: &std::sync::Arc<stone_serve::ModelRegistry>, scan: &[f3
             max_wait: Duration::ZERO,
             queue_capacity: 2 * IN_FLIGHT,
             workers: 1,
+            ..ServerConfig::default()
         },
     );
     let server = NetServer::start_with(inner, "127.0.0.1:0").expect("bind ephemeral port");

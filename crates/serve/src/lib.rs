@@ -9,13 +9,18 @@
 //! the ROADMAP's other question — serving location queries to many phones
 //! at once. Three pieces:
 //!
-//! * [`LocalizationServer`] — a bounded request queue plus batch executor
-//!   threads that **coalesce concurrent single-scan queries** into
+//! * [`LocalizationServer`] — a **venue-sharded** bounded request queue
+//!   (per-venue FIFO sub-queues under one shared global capacity, optional
+//!   per-venue cap) plus batch executor threads that drain **single-venue**
+//!   batches and **coalesce concurrent single-scan queries** into
 //!   [`stone::StoneLocalizer::locate_batch`] calls (micro-batching with
 //!   [`ServerConfig::max_batch`]/[`ServerConfig::max_wait`] knobs,
 //!   backpressure via the bounded queue). A phone submits one scan; the
 //!   server amortizes the encoder forward pass across every scan that
-//!   arrived in the same window.
+//!   arrived in the same window *for the same venue* — batches stay fat
+//!   per venue however many venues fan out, and the scheduler drains the
+//!   deepest backlog first while `max_wait` bounds how long any venue's
+//!   oldest request can be passed over (no starvation).
 //! * [`ModelRegistry`] — per-venue models behind atomic [`Arc`] swaps:
 //!   publishing a retrained model is a **warm reload**. In-flight batches
 //!   finish on the snapshot they started with, new batches see the new
@@ -23,7 +28,9 @@
 //!   via [`stone::StoneLocalizer::save`]/`load`
 //!   ([`ModelRegistry::publish_bytes`]).
 //! * [`StatsSnapshot`] — queue depth, a batch-size histogram (the direct
-//!   observability of coalescing) and p50/p99 enqueue→reply latency.
+//!   observability of coalescing) and p50/p99 enqueue→reply latency, in
+//!   aggregate and broken down per venue ([`VenueStatsSnapshot`], which
+//!   also splits shed-by-global-capacity from shed-by-venue-cap).
 //!
 //! # Determinism
 //!
@@ -62,7 +69,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod queue;
 mod registry;
+mod scheduler;
 mod server;
 mod stats;
 
@@ -70,7 +79,7 @@ pub use registry::{ModelEntry, ModelRegistry};
 pub use server::{
     LocalizationServer, LocateResponse, PendingLocate, ServeError, ServerConfig, ServerHandle,
 };
-pub use stats::StatsSnapshot;
+pub use stats::{StatsSnapshot, VenueStatsSnapshot};
 
 #[cfg(test)]
 mod tests {

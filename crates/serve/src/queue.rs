@@ -1,0 +1,351 @@
+//! The venue-sharded request queue.
+//!
+//! One [`ShardedQueue`] replaces the single shared `sync_channel` of the
+//! pre-PR 8 server: every venue gets its own FIFO sub-queue, all of them
+//! accounted against **one shared global capacity** (so the bounded-queue /
+//! shed contract of the backpressure suites is preserved exactly), with an
+//! optional per-venue cap on top so one hot venue cannot monopolize the
+//! whole buffer.
+//!
+//! The payoff is on the *drain* side: [`ShardedQueue::collect`] hands an
+//! executor one **single-venue** batch — the deepest backlog, unless some
+//! venue's head request has aged past `max_wait`, in which case the oldest
+//! such head goes first (starvation is bounded by `max_wait` per request).
+//! A tie between equally deep venues resolves round-robin via a rotating
+//! cursor. Under venue fan-out this keeps encoder batches fat per venue
+//! instead of fragmenting a mixed drain into per-venue slivers (the
+//! 16-venue regression of docs/PERFORMANCE.md).
+//!
+//! Pause (`start_paused`) and close (shutdown) live here too: a paused
+//! queue accepts up to capacity but hands out nothing; a closed queue
+//! refuses pushes while `collect` keeps handing out batches until empty —
+//! the drain that answers everything accepted.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::server::{LocateResponse, ServeError};
+
+/// How a request's answer travels back to whoever submitted it.
+pub(crate) enum Reply {
+    /// In-process submit: the sending half of a [`crate::PendingLocate`]
+    /// ticket.
+    Channel(mpsc::Sender<Result<LocateResponse, ServeError>>),
+    /// Callback submit ([`crate::ServerHandle::try_submit_with`]): invoked
+    /// exactly once from the executor thread — the wire front-end path,
+    /// where the callback enqueues a response frame on the connection's
+    /// writer.
+    Callback(ReplyCallback),
+}
+
+impl Reply {
+    pub(crate) fn send(self, result: Result<LocateResponse, ServeError>) {
+        match self {
+            // A client that gave up and dropped its ticket is not an error.
+            Reply::Channel(tx) => drop(tx.send(result)),
+            Reply::Callback(cb) => cb.call(result),
+        }
+    }
+}
+
+/// The boxed form of a [`crate::ServerHandle::try_submit_with`] callback.
+type BoxedReply = Box<dyn FnOnce(Result<LocateResponse, ServeError>) + Send>;
+
+/// An exactly-once reply callback with a drop guarantee: if the server ever
+/// drops a request without answering it (torn down mid-flight), the callback
+/// still fires with [`ServeError::ShuttingDown`], so a wire front-end can
+/// always send *some* response frame and its writer never hangs.
+pub(crate) struct ReplyCallback(Option<BoxedReply>);
+
+impl ReplyCallback {
+    pub(crate) fn new(f: BoxedReply) -> Self {
+        Self(Some(f))
+    }
+
+    pub(crate) fn call(mut self, result: Result<LocateResponse, ServeError>) {
+        if let Some(f) = self.0.take() {
+            f(result);
+        }
+    }
+}
+
+impl Drop for ReplyCallback {
+    fn drop(&mut self) {
+        if let Some(f) = self.0.take() {
+            f(Err(ServeError::ShuttingDown));
+        }
+    }
+}
+
+/// One queued localization request.
+pub(crate) struct Request {
+    pub(crate) venue: String,
+    pub(crate) rssi: Vec<f32>,
+    pub(crate) enqueued: Instant,
+    pub(crate) reply: Reply,
+}
+
+/// Why a [`ShardedQueue::try_push`] was refused. Each variant hands the
+/// request back so the caller can reclaim its reply (the exactly-once
+/// callback contract).
+pub(crate) enum TryPushError {
+    /// The shared global capacity is exhausted.
+    GlobalFull(Request),
+    /// The venue's own sub-queue cap is hit (global capacity had room).
+    VenueFull(Request),
+    /// The queue is closed (server shutting down).
+    Closed(Request),
+}
+
+/// What [`ShardedQueue::collect`] handed out.
+pub(crate) enum Collected {
+    /// A single-venue batch: every request targets `venue`, FIFO order.
+    Batch {
+        /// The venue every request of this batch targets.
+        venue: String,
+        /// The drained requests (1 ..= `max_batch` of them).
+        requests: Vec<Request>,
+    },
+    /// The queue is closed and fully drained: the executor exits.
+    Closed,
+}
+
+/// One venue's FIFO sub-queue. Shards are created on a venue's first push
+/// and retained (empty) afterwards, so shard indices stay stable.
+struct Shard {
+    venue: String,
+    queue: VecDeque<Request>,
+}
+
+struct Inner {
+    shards: Vec<Shard>,
+    by_venue: HashMap<String, usize>,
+    /// Total requests across all shards — the shared global accounting.
+    queued: usize,
+    closed: bool,
+    paused: bool,
+    /// Round-robin scan start for victim selection (fairness tie-break).
+    cursor: usize,
+}
+
+impl Inner {
+    fn shard_idx(&mut self, venue: &str) -> usize {
+        if let Some(&i) = self.by_venue.get(venue) {
+            return i;
+        }
+        let i = self.shards.len();
+        self.shards.push(Shard { venue: venue.to_string(), queue: VecDeque::new() });
+        self.by_venue.insert(venue.to_string(), i);
+        i
+    }
+
+    /// The venue an executor should drain next, or `None` when nothing is
+    /// queued. Priority: any head older than `max_wait` (oldest first — the
+    /// per-request latency bound), otherwise the deepest backlog (fattest
+    /// batch); ties go round-robin from the cursor.
+    fn pick_victim(&self, max_wait: Duration) -> Option<usize> {
+        let n = self.shards.len();
+        let now = Instant::now();
+        let mut best: Option<(usize, bool, Instant, usize)> = None;
+        for off in 0..n {
+            let i = (self.cursor + off) % n;
+            let shard = &self.shards[i];
+            let Some(head) = shard.queue.front() else { continue };
+            let overdue = now.duration_since(head.enqueued) >= max_wait;
+            let better = match best {
+                None => true,
+                Some((_, best_overdue, best_head, best_len)) => {
+                    if overdue != best_overdue {
+                        overdue
+                    } else if overdue {
+                        head.enqueued < best_head
+                    } else {
+                        shard.queue.len() > best_len
+                    }
+                }
+            };
+            if better {
+                best = Some((i, overdue, head.enqueued, shard.queue.len()));
+            }
+        }
+        best.map(|(i, ..)| i)
+    }
+}
+
+/// The per-venue bounded queue shared by client handles and executors.
+pub(crate) struct ShardedQueue {
+    inner: Mutex<Inner>,
+    /// Executors wait here for work (and for resume/close).
+    work: Condvar,
+    /// Blocking producers wait here for a slot (global or per-venue).
+    space: Condvar,
+    capacity: usize,
+    venue_capacity: Option<usize>,
+}
+
+impl ShardedQueue {
+    pub(crate) fn new(capacity: usize, venue_capacity: Option<usize>, paused: bool) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                shards: Vec::new(),
+                by_venue: HashMap::new(),
+                queued: 0,
+                closed: false,
+                paused,
+                cursor: 0,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
+            venue_capacity,
+        }
+    }
+
+    /// Non-blocking push: fails fast when the global capacity or the
+    /// venue's cap is exhausted, handing the request back.
+    pub(crate) fn try_push(&self, req: Request) -> Result<(), TryPushError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(TryPushError::Closed(req));
+        }
+        if inner.queued >= self.capacity {
+            return Err(TryPushError::GlobalFull(req));
+        }
+        let idx = inner.shard_idx(&req.venue);
+        if let Some(cap) = self.venue_capacity {
+            if inner.shards[idx].queue.len() >= cap {
+                return Err(TryPushError::VenueFull(req));
+            }
+        }
+        inner.shards[idx].queue.push_back(req);
+        inner.queued += 1;
+        drop(inner);
+        self.work.notify_all();
+        Ok(())
+    }
+
+    /// Blocking push: waits for a slot (backpressure). `Err` hands the
+    /// request back — the queue closed while waiting (or before).
+    pub(crate) fn push(&self, req: Request) -> Result<(), Request> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if inner.closed {
+                return Err(req);
+            }
+            if inner.queued < self.capacity {
+                let idx = inner.shard_idx(&req.venue);
+                let venue_full =
+                    self.venue_capacity.is_some_and(|cap| inner.shards[idx].queue.len() >= cap);
+                if !venue_full {
+                    inner.shards[idx].queue.push_back(req);
+                    inner.queued += 1;
+                    drop(inner);
+                    self.work.notify_all();
+                    return Ok(());
+                }
+            }
+            inner = self.space.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Hands the calling executor its next single-venue batch, blocking
+    /// while the queue is empty or paused. Once a venue is picked its whole
+    /// sub-queue drains (up to `max_batch`); an under-full batch is held
+    /// open for same-venue stragglers until its *oldest* request has waited
+    /// `max_wait` — so no request's time-to-execution exceeds `max_wait`
+    /// plus one batch execution, whatever venue it targets.
+    pub(crate) fn collect(&self, max_batch: usize, max_wait: Duration) -> Collected {
+        let mut inner = self.inner.lock().expect("queue lock");
+        let idx = loop {
+            if inner.paused && !inner.closed {
+                inner = self.work.wait(inner).expect("queue lock");
+                continue;
+            }
+            if let Some(idx) = inner.pick_victim(max_wait) {
+                break idx;
+            }
+            if inner.closed {
+                return Collected::Closed;
+            }
+            inner = self.work.wait(inner).expect("queue lock");
+        };
+
+        inner.cursor = (idx + 1) % inner.shards.len();
+        let venue = inner.shards[idx].venue.clone();
+        let mut requests = Vec::new();
+        let drain = |inner: &mut Inner, requests: &mut Vec<Request>| {
+            let mut popped = false;
+            while requests.len() < max_batch {
+                let Some(req) = inner.shards[idx].queue.pop_front() else { break };
+                inner.queued -= 1;
+                requests.push(req);
+                popped = true;
+            }
+            popped
+        };
+        if drain(&mut inner, &mut requests) {
+            self.space.notify_all();
+        }
+
+        // Straggler window: hold the under-full batch open for *this venue*
+        // until its oldest request hits max_wait. Zero by default — adaptive
+        // batching alone (whatever piled up during the previous batch) pays
+        // for coalescing without adding latency.
+        if !inner.closed && requests.len() < max_batch && max_wait > Duration::ZERO {
+            let deadline = requests[0].enqueued + max_wait;
+            loop {
+                if drain(&mut inner, &mut requests) {
+                    self.space.notify_all();
+                }
+                if requests.len() >= max_batch || inner.closed {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self.work.wait_timeout(inner, deadline - now).expect("queue lock");
+                inner = guard;
+            }
+        }
+        Collected::Batch { venue, requests }
+    }
+
+    /// Unparks executors parked by a paused start. Idempotent.
+    pub(crate) fn resume(&self) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.paused {
+            inner.paused = false;
+            drop(inner);
+            self.work.notify_all();
+        }
+    }
+
+    /// Closes the queue: pushes fail from here on, blocked producers wake
+    /// with their request handed back, and executors drain what remains
+    /// then receive [`Collected::Closed`]. Clears pause — a drain must run.
+    pub(crate) fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.closed = true;
+        inner.paused = false;
+        drop(inner);
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+}
+
+impl std::fmt::Debug for ShardedQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("queue lock");
+        write!(
+            f,
+            "ShardedQueue(queued={}, venues={}, capacity={}, venue_capacity={:?})",
+            inner.queued,
+            inner.shards.len(),
+            self.capacity,
+            self.venue_capacity
+        )
+    }
+}

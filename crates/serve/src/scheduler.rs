@@ -1,0 +1,120 @@
+//! The venue-affine batch executors.
+//!
+//! Each executor thread loops: ask the [`ShardedQueue`] for its next
+//! **single-venue** batch (deepest backlog first, `max_wait`-overdue heads
+//! before that — see the queue's victim policy), snapshot that venue's
+//! model once, run one [`stone::StoneLocalizer::locate_batch`], reply.
+//! Because a batch never mixes venues, the encoder amortization that pays
+//! for batching survives venue fan-out: 16 venues at depth 64 drain as 16
+//! fat single-venue batches, not 16 four-scan slivers per drain.
+//!
+//! The registry snapshot is taken *per batch*: a warm reload
+//! ([`crate::ModelRegistry::publish`]) between two batches of the same
+//! venue is picked up by the second one, while the in-flight batch keeps
+//! the `Arc` snapshot it started with — reload never tears a batch.
+//! A venue removed from the registry while requests are queued fails those
+//! requests per-request with [`ServeError::UnknownVenue`]; nothing panics
+//! and no ticket hangs.
+
+use stone_radio::Point2;
+
+use crate::queue::{Collected, Request, ShardedQueue};
+use crate::registry::ModelRegistry;
+use crate::server::{LocateResponse, ServeError, ServerConfig, Shared};
+
+/// One executor thread: pull a single-venue batch, execute, reply, repeat —
+/// until the queue closes and drains dry.
+pub(crate) fn executor_loop(
+    queue: &ShardedQueue,
+    registry: &ModelRegistry,
+    shared: &Shared,
+    cfg: ServerConfig,
+) {
+    loop {
+        match queue.collect(cfg.max_batch, cfg.max_wait) {
+            Collected::Closed => return,
+            Collected::Batch { venue, requests } => {
+                execute_batch(registry, shared, &cfg, &venue, requests);
+            }
+        }
+    }
+}
+
+/// Answers every request of one single-venue batch: snapshot the venue's
+/// model once (the consistency unit across warm reloads), one
+/// `locate_batch` for every well-formed scan, per-request errors for the
+/// rest — one bad query never takes down a batch, a worker, or the server.
+fn execute_batch(
+    registry: &ModelRegistry,
+    shared: &Shared,
+    cfg: &ServerConfig,
+    venue: &str,
+    batch: Vec<Request>,
+) {
+    let vstats = shared.stats.venue(venue);
+    shared.stats.record_batch(batch.len());
+    vstats.record_batch(batch.len());
+
+    let mut results: Vec<Option<Result<LocateResponse, ServeError>>> = Vec::new();
+    results.resize_with(batch.len(), || None);
+
+    let entry = registry.snapshot(venue);
+    match entry {
+        // Unknown venue (never published, or removed with requests still
+        // queued): every request fails individually — the regression pinned
+        // by tests/scheduler_fairness.rs.
+        None => {
+            for r in &mut results {
+                *r = Some(Err(ServeError::UnknownVenue { venue: venue.to_string() }));
+            }
+        }
+        Some(entry) if entry.model().knn().is_empty() => {
+            for r in &mut results {
+                *r = Some(Err(ServeError::EmptyModel { venue: venue.to_string() }));
+            }
+        }
+        Some(entry) => {
+            let expected = entry.model().encoder().codec().ap_count();
+            let mut ok_idx = Vec::with_capacity(batch.len());
+            for (i, req) in batch.iter().enumerate() {
+                let got = req.rssi.len();
+                if got == expected {
+                    ok_idx.push(i);
+                } else {
+                    results[i] = Some(Err(ServeError::ScanDimensionMismatch {
+                        venue: venue.to_string(),
+                        expected,
+                        got,
+                    }));
+                }
+            }
+            if !ok_idx.is_empty() {
+                let scans: Vec<&[f32]> = ok_idx.iter().map(|&i| batch[i].rssi.as_slice()).collect();
+                let positions: Vec<Point2> = if cfg.workers > 1 {
+                    // Several executors may be running batches concurrently:
+                    // each keeps its kernels inline so the machine is not
+                    // oversubscribed (see ServerConfig::workers).
+                    stone_par::inline_scope(|| entry.model().locate_batch(&scans))
+                } else {
+                    entry.model().locate_batch(&scans)
+                };
+                for (&i, position) in ok_idx.iter().zip(positions) {
+                    results[i] =
+                        Some(Ok(LocateResponse { position, model_version: entry.version() }));
+                }
+            }
+        }
+    }
+
+    for (req, result) in batch.into_iter().zip(results) {
+        let result = result.expect("every request of the batch is answered");
+        // Record completion *before* the reply lands: the moment a client's
+        // wait() returns, a stats() snapshot must already account for its
+        // request (the smoke test reads exact counts right after the last
+        // reply).
+        let latency = req.enqueued.elapsed();
+        shared.stats.record_completed(latency);
+        vstats.record_completed(latency);
+        req.reply.send(result);
+    }
+}

@@ -1,23 +1,30 @@
-//! The batching localization server.
+//! The batching localization server: public API and lifecycle.
 //!
 //! Clients submit *single* scans; a small pool of batch executors pulls
-//! them off a bounded queue and coalesces whatever is waiting (up to
-//! [`ServerConfig::max_batch`], waiting at most [`ServerConfig::max_wait`]
-//! for stragglers) into one [`stone::StoneLocalizer::locate_batch`] call —
-//! the path that amortizes the encoder forward pass and unlocks the
-//! parallel kernels. Results are **bitwise identical** to per-scan
-//! `Localizer::locate` calls on the same model snapshot: batching changes
-//! cost, never answers.
+//! **single-venue** batches off the venue-sharded queue (see
+//! [`crate::queue`]) and coalesces whatever is waiting for that venue (up
+//! to [`ServerConfig::max_batch`], holding an under-full batch open at most
+//! [`ServerConfig::max_wait`] past its oldest request) into one
+//! [`stone::StoneLocalizer::locate_batch`] call — the path that amortizes
+//! the encoder forward pass and unlocks the parallel kernels. Results are
+//! **bitwise identical** to per-scan `Localizer::locate` calls on the same
+//! model snapshot: batching changes cost, never answers.
+//!
+//! This module owns the public surface (errors, config, handles, tickets);
+//! the queue discipline lives in `queue.rs` and the drain policy plus batch
+//! execution in `scheduler.rs`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use stone_radio::Point2;
 
+use crate::queue::{Reply, ReplyCallback, Request, ShardedQueue, TryPushError};
 use crate::registry::ModelRegistry;
+use crate::scheduler::executor_loop;
 use crate::stats::{ServerStats, StatsSnapshot};
 
 /// Why a localization request failed. Always per-request: one bad query
@@ -44,10 +51,20 @@ pub enum ServeError {
         /// Length of the submitted scan.
         got: usize,
     },
-    /// The bounded request queue is full (backpressure; only
-    /// [`ServerHandle::try_locate`]/[`ServerHandle::try_submit`] report
-    /// this — the blocking variants wait for a slot instead).
+    /// The **shared global capacity** of the bounded request queue is full
+    /// (backpressure; only [`ServerHandle::try_locate`]/
+    /// [`ServerHandle::try_submit`] report this — the blocking variants
+    /// wait for a slot instead).
     QueueFull,
+    /// The venue's **own sub-queue cap** ([`ServerConfig::venue_capacity`])
+    /// is full while the global capacity still had room — one hot venue is
+    /// hogging the buffer. Wire front-ends surface this exactly like
+    /// [`ServeError::QueueFull`] (a shed), but the split is visible in the
+    /// per-venue stats and to in-process callers.
+    VenueQueueFull {
+        /// The venue whose sub-queue is full.
+        venue: String,
+    },
     /// The server is shutting down (or already gone).
     ShuttingDown,
 }
@@ -63,6 +80,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "scan has {got} APs but the model for {venue:?} expects {expected}")
             }
             ServeError::QueueFull => write!(f, "request queue full"),
+            ServeError::VenueQueueFull { venue } => {
+                write!(f, "request sub-queue for {venue:?} full")
+            }
             ServeError::ShuttingDown => write!(f, "server shutting down"),
         }
     }
@@ -88,31 +108,48 @@ pub struct ServerConfig {
     /// batching (every request runs alone — the baseline the micro benches
     /// compare against).
     pub max_batch: usize,
-    /// How long an executor holds an under-full batch open for stragglers
-    /// once the queue runs dry. Requests already queued always coalesce
-    /// without waiting (adaptive batching: whatever piled up while the
-    /// previous batch executed forms the next one), so the default of
-    /// **zero** adds no latency and still batches under concurrent load.
-    /// A positive window grows batches further at the cost of p50 latency
-    /// — worthwhile when per-batch fixed cost dominates per-scan cost.
+    /// The per-request scheduling bound: a venue whose oldest queued
+    /// request has waited this long is drained before deeper venues (so no
+    /// venue starves past `max_wait`), and an executor holds an under-full
+    /// single-venue batch open for stragglers at most until its oldest
+    /// request hits this age. Requests already queued for the picked venue
+    /// always coalesce without waiting (adaptive batching: whatever piled
+    /// up while the previous batch executed forms the next one), so the
+    /// default of **zero** adds no latency, schedules strictly
+    /// oldest-venue-first, and still batches under concurrent load. A
+    /// positive window grows batches further at the cost of p50 latency —
+    /// worthwhile when per-batch fixed cost dominates per-scan cost.
     pub max_wait: Duration,
-    /// Capacity of the bounded request queue: the backpressure boundary.
-    /// Blocking submits wait for a slot; `try_` submits return
-    /// [`ServeError::QueueFull`].
+    /// Capacity of the bounded request queue — the backpressure boundary,
+    /// **shared across all venues**. Blocking submits wait for a slot;
+    /// `try_` submits return [`ServeError::QueueFull`].
     pub queue_capacity: usize,
+    /// Optional cap on any single venue's sub-queue, carved out of the
+    /// shared `queue_capacity`. `None` (the default, and the pre-PR 8
+    /// contract) lets one venue fill the whole buffer; `Some(cap)` sheds a
+    /// venue's overflow with [`ServeError::VenueQueueFull`] once that venue
+    /// alone holds `cap` queued requests, keeping room for the others.
+    pub venue_capacity: Option<usize>,
     /// Batch executor threads. The default 1 is usually right: a coalesced
     /// batch already fans out across `STONE_THREADS` inside the batched
     /// kernels (via the long-lived `stone-par` worker pool, so entering a
     /// parallel region costs microseconds, not a thread spawn). With
-    /// several executors each runs its batch inside
-    /// [`stone_par::inline_scope`] instead, so concurrent batches never
+    /// several executors each drains a *different* venue concurrently
+    /// (batches are single-venue) and runs its batch inside
+    /// [`stone_par::inline_scope`], so concurrent batches never
     /// oversubscribe the machine (executors × kernel threads).
     pub workers: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { max_batch: 64, max_wait: Duration::ZERO, queue_capacity: 1024, workers: 1 }
+        Self {
+            max_batch: 64,
+            max_wait: Duration::ZERO,
+            queue_capacity: 1024,
+            venue_capacity: None,
+            workers: 1,
+        }
     }
 }
 
@@ -121,89 +158,16 @@ impl ServerConfig {
         assert!(self.max_batch > 0, "max_batch must be at least 1");
         assert!(self.queue_capacity > 0, "queue_capacity must be at least 1");
         assert!(self.workers > 0, "workers must be at least 1");
-    }
-}
-
-/// How a request's answer travels back to whoever submitted it.
-enum Reply {
-    /// In-process submit: the sending half of a [`PendingLocate`] ticket.
-    Channel(mpsc::Sender<Result<LocateResponse, ServeError>>),
-    /// Callback submit ([`ServerHandle::try_submit_with`]): invoked exactly
-    /// once from the executor thread — the wire front-end path, where the
-    /// callback enqueues a response frame on the connection's writer.
-    Callback(ReplyCallback),
-}
-
-impl Reply {
-    fn send(self, result: Result<LocateResponse, ServeError>) {
-        match self {
-            // A client that gave up and dropped its ticket is not an error.
-            Reply::Channel(tx) => drop(tx.send(result)),
-            Reply::Callback(cb) => cb.call(result),
+        if let Some(cap) = self.venue_capacity {
+            assert!(cap > 0, "venue_capacity must be at least 1 when set");
         }
     }
-}
-
-/// The boxed form of a [`ServerHandle::try_submit_with`] callback.
-type BoxedReply = Box<dyn FnOnce(Result<LocateResponse, ServeError>) + Send>;
-
-/// An exactly-once reply callback with a drop guarantee: if the server ever
-/// drops a request without answering it (torn down mid-flight), the callback
-/// still fires with [`ServeError::ShuttingDown`], so a wire front-end can
-/// always send *some* response frame and its writer never hangs.
-struct ReplyCallback(Option<BoxedReply>);
-
-impl ReplyCallback {
-    fn call(mut self, result: Result<LocateResponse, ServeError>) {
-        if let Some(f) = self.0.take() {
-            f(result);
-        }
-    }
-}
-
-impl Drop for ReplyCallback {
-    fn drop(&mut self) {
-        if let Some(f) = self.0.take() {
-            f(Err(ServeError::ShuttingDown));
-        }
-    }
-}
-
-/// One queued localization request.
-struct Request {
-    venue: String,
-    rssi: Vec<f32>,
-    enqueued: Instant,
-    reply: Reply,
-}
-
-enum Job {
-    Locate(Request),
-    /// Consumed by exactly one executor, which drains its current batch and
-    /// exits; [`LocalizationServer::shutdown`] sends one per executor.
-    Shutdown,
 }
 
 /// State shared between the server, its handles and its executors.
-struct Shared {
-    stats: ServerStats,
-    accepting: AtomicBool,
-    /// While `true`, executors park before collecting a batch: requests
-    /// accumulate in the bounded queue but none executes. This is the
-    /// deterministic window [`LocalizationServer::start_paused`] opens for
-    /// the backpressure contract tests.
-    paused: Mutex<bool>,
-    resume_cv: Condvar,
-}
-
-impl Shared {
-    fn resume(&self) {
-        let mut paused = self.paused.lock().expect("pause lock");
-        if *paused {
-            *paused = false;
-            self.resume_cv.notify_all();
-        }
-    }
+pub(crate) struct Shared {
+    pub(crate) stats: ServerStats,
+    pub(crate) accepting: AtomicBool,
 }
 
 /// A long-running localization service over a [`ModelRegistry`].
@@ -211,7 +175,8 @@ impl Shared {
 /// See the crate docs for the architecture; the acceptance contract
 /// (coalescing observable in the batch histogram, warm reload with zero
 /// dropped queries, responses bitwise-equal to direct `locate` calls on the
-/// same snapshot) is pinned by `tests/server_smoke.rs`.
+/// same snapshot) is pinned by `tests/server_smoke.rs`, and the sharded
+/// scheduler's fairness and shed split by `tests/scheduler_fairness.rs`.
 ///
 /// # Example
 ///
@@ -233,7 +198,7 @@ impl Shared {
 /// ```
 pub struct LocalizationServer {
     registry: Arc<ModelRegistry>,
-    tx: SyncSender<Job>,
+    queue: Arc<ShardedQueue>,
     shared: Arc<Shared>,
     cfg: ServerConfig,
     workers: Vec<JoinHandle<()>>,
@@ -245,7 +210,8 @@ impl LocalizationServer {
     /// # Panics
     ///
     /// Panics when the configuration is degenerate (zero `max_batch`,
-    /// `queue_capacity` or `workers`) or a thread cannot be spawned.
+    /// `queue_capacity`, `venue_capacity` or `workers`) or a thread cannot
+    /// be spawned.
     #[must_use]
     pub fn start(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Self {
         Self::start_inner(registry, cfg, false)
@@ -269,37 +235,34 @@ impl LocalizationServer {
     /// Unparks the executors of a [`LocalizationServer::start_paused`]
     /// server. Idempotent; a no-op on a server started normally.
     pub fn resume(&self) {
-        self.shared.resume();
+        self.queue.resume();
     }
 
     fn start_inner(registry: Arc<ModelRegistry>, cfg: ServerConfig, paused: bool) -> Self {
         cfg.validate();
-        let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_capacity);
-        let rx = Arc::new(Mutex::new(rx));
+        let queue = Arc::new(ShardedQueue::new(cfg.queue_capacity, cfg.venue_capacity, paused));
         let shared = Arc::new(Shared {
             stats: ServerStats::new(cfg.max_batch),
             accepting: AtomicBool::new(true),
-            paused: Mutex::new(paused),
-            resume_cv: Condvar::new(),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
-                let rx = Arc::clone(&rx);
+                let queue = Arc::clone(&queue);
                 let registry = Arc::clone(&registry);
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("stone-serve-{i}"))
-                    .spawn(move || executor_loop(&rx, &registry, &shared, cfg))
+                    .spawn(move || executor_loop(&queue, &registry, &shared, cfg))
                     .expect("spawn executor thread")
             })
             .collect();
-        Self { registry, tx, shared, cfg, workers }
+        Self { registry, queue, shared, cfg, workers }
     }
 
     /// A cloneable client handle feeding this server's queue.
     #[must_use]
     pub fn handle(&self) -> ServerHandle {
-        ServerHandle { tx: self.tx.clone(), shared: Arc::clone(&self.shared) }
+        ServerHandle { queue: Arc::clone(&self.queue), shared: Arc::clone(&self.shared) }
     }
 
     /// The registry this server resolves venues against (publish retrained
@@ -315,7 +278,8 @@ impl LocalizationServer {
         &self.cfg
     }
 
-    /// A point-in-time copy of the server's counters.
+    /// A point-in-time copy of the server's counters (aggregate plus the
+    /// per-venue breakdowns of [`StatsSnapshot::venues`]).
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
@@ -333,14 +297,11 @@ impl LocalizationServer {
             return;
         }
         self.shared.accepting.store(false, Ordering::SeqCst);
-        // Parked executors must wake up to drain (and to make room for the
-        // Shutdown jobs below when the queue is full).
-        self.shared.resume();
-        // One Shutdown per executor, behind everything already queued; a
-        // full queue just means we wait for the drain to make room.
-        for _ in 0..self.workers.len() {
-            let _ = self.tx.send(Job::Shutdown);
-        }
+        // Closing wakes parked/waiting executors (pause is cleared — the
+        // drain must run), fails blocked producers with ShuttingDown, and
+        // lets each executor keep collecting single-venue batches until the
+        // queue is empty before it exits.
+        self.queue.close();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -363,7 +324,7 @@ impl std::fmt::Debug for LocalizationServer {
 /// shareable across client threads.
 #[derive(Clone)]
 pub struct ServerHandle {
-    tx: SyncSender<Job>,
+    queue: Arc<ShardedQueue>,
     shared: Arc<Shared>,
 }
 
@@ -372,15 +333,15 @@ impl ServerHandle {
         &self,
         venue: &str,
         rssi: &[f32],
-    ) -> (Job, mpsc::Receiver<Result<LocateResponse, ServeError>>) {
+    ) -> (Request, mpsc::Receiver<Result<LocateResponse, ServeError>>) {
         let (reply, rx) = mpsc::channel();
-        let job = Job::Locate(Request {
+        let req = Request {
             venue: venue.to_string(),
             rssi: rssi.to_vec(),
             enqueued: Instant::now(),
             reply: Reply::Channel(reply),
-        });
-        (job, rx)
+        };
+        (req, rx)
     }
 
     /// Enqueues a scan, **blocking while the queue is full** (backpressure),
@@ -396,42 +357,57 @@ impl ServerHandle {
         if !self.shared.accepting.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
-        let (job, rx) = self.request(venue, rssi);
-        // Count the request in *before* the send: a fast executor may pull
+        let vstats = self.shared.stats.venue(venue);
+        let (req, rx) = self.request(venue, rssi);
+        // Count the request in *before* the push: a fast executor may pull
         // and complete it before this thread runs again, and queue_depth
         // must never transiently underflow.
         self.shared.stats.record_enqueued();
-        if self.tx.send(job).is_err() {
+        vstats.record_enqueued();
+        if self.queue.push(req).is_err() {
             self.shared.stats.record_enqueue_aborted();
+            vstats.record_enqueue_aborted();
             return Err(ServeError::ShuttingDown);
         }
         Ok(PendingLocate { rx })
     }
 
     /// Like [`ServerHandle::submit`], but fails fast with
-    /// [`ServeError::QueueFull`] instead of blocking when the bounded queue
-    /// has no slot.
+    /// [`ServeError::QueueFull`] (shared capacity exhausted) or
+    /// [`ServeError::VenueQueueFull`] (the venue's own cap hit) instead of
+    /// blocking when the bounded queue has no slot.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::QueueFull`] or [`ServeError::ShuttingDown`].
+    /// Returns [`ServeError::QueueFull`], [`ServeError::VenueQueueFull`] or
+    /// [`ServeError::ShuttingDown`].
     pub fn try_submit(&self, venue: &str, rssi: &[f32]) -> Result<PendingLocate, ServeError> {
         if !self.shared.accepting.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
-        let (job, rx) = self.request(venue, rssi);
-        // Same enqueue-before-send ordering as `submit`.
+        let vstats = self.shared.stats.venue(venue);
+        let (req, rx) = self.request(venue, rssi);
+        // Same enqueue-before-push ordering as `submit`.
         self.shared.stats.record_enqueued();
-        match self.tx.try_send(job) {
+        vstats.record_enqueued();
+        match self.queue.try_push(req) {
             Ok(()) => Ok(PendingLocate { rx }),
-            Err(TrySendError::Full(_)) => {
+            Err(e) => {
                 self.shared.stats.record_enqueue_aborted();
-                self.shared.stats.record_rejected();
-                Err(ServeError::QueueFull)
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                self.shared.stats.record_enqueue_aborted();
-                Err(ServeError::ShuttingDown)
+                vstats.record_enqueue_aborted();
+                match e {
+                    TryPushError::GlobalFull(_) => {
+                        self.shared.stats.record_rejected();
+                        vstats.record_shed_global();
+                        Err(ServeError::QueueFull)
+                    }
+                    TryPushError::VenueFull(_) => {
+                        self.shared.stats.record_rejected();
+                        vstats.record_shed_venue();
+                        Err(ServeError::VenueQueueFull { venue: venue.to_string() })
+                    }
+                    TryPushError::Closed(_) => Err(ServeError::ShuttingDown),
+                }
             }
         }
     }
@@ -444,51 +420,64 @@ impl ServerHandle {
     ///
     /// The callback is invoked **exactly once** for every call, including
     /// failed submits: on [`ServeError::QueueFull`] /
-    /// [`ServeError::ShuttingDown`] it fires inline with that error (and the
-    /// same error is also returned, so the caller can stop reading without
-    /// inspecting responses). If the server is torn down with the request
-    /// still queued, the callback fires with `ShuttingDown`.
+    /// [`ServeError::VenueQueueFull`] / [`ServeError::ShuttingDown`] it
+    /// fires inline with that error (and the same error is also returned,
+    /// so the caller can stop reading without inspecting responses). If the
+    /// server is torn down with the request still queued, the callback
+    /// fires with `ShuttingDown`.
     ///
     /// # Errors
     ///
-    /// Returns [`ServeError::QueueFull`] or [`ServeError::ShuttingDown`];
-    /// the callback has already been invoked with the same error.
+    /// Returns [`ServeError::QueueFull`], [`ServeError::VenueQueueFull`] or
+    /// [`ServeError::ShuttingDown`]; the callback has already been invoked
+    /// with the same error.
     pub fn try_submit_with<F>(&self, venue: &str, rssi: &[f32], reply: F) -> Result<(), ServeError>
     where
         F: FnOnce(Result<LocateResponse, ServeError>) + Send + 'static,
     {
-        let cb = ReplyCallback(Some(Box::new(reply)));
+        let cb = ReplyCallback::new(Box::new(reply));
         if !self.shared.accepting.load(Ordering::SeqCst) {
             cb.call(Err(ServeError::ShuttingDown));
             return Err(ServeError::ShuttingDown);
         }
-        let job = Job::Locate(Request {
+        let vstats = self.shared.stats.venue(venue);
+        let req = Request {
             venue: venue.to_string(),
             rssi: rssi.to_vec(),
             enqueued: Instant::now(),
             reply: Reply::Callback(cb),
-        });
-        // Same enqueue-before-send ordering as `submit`.
-        self.shared.stats.record_enqueued();
-        let reclaim = |job: Job| match job {
-            Job::Locate(req) => match req.reply {
-                Reply::Callback(cb) => cb,
-                Reply::Channel(_) => unreachable!("submitted job carries a callback reply"),
-            },
-            Job::Shutdown => unreachable!("submitted job is a Locate"),
         };
-        match self.tx.try_send(job) {
+        // Same enqueue-before-push ordering as `submit`.
+        self.shared.stats.record_enqueued();
+        vstats.record_enqueued();
+        let reclaim = |req: Request| match req.reply {
+            Reply::Callback(cb) => cb,
+            Reply::Channel(_) => unreachable!("submitted request carries a callback reply"),
+        };
+        match self.queue.try_push(req) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(job)) => {
+            Err(e) => {
                 self.shared.stats.record_enqueue_aborted();
-                self.shared.stats.record_rejected();
-                reclaim(job).call(Err(ServeError::QueueFull));
-                Err(ServeError::QueueFull)
-            }
-            Err(TrySendError::Disconnected(job)) => {
-                self.shared.stats.record_enqueue_aborted();
-                reclaim(job).call(Err(ServeError::ShuttingDown));
-                Err(ServeError::ShuttingDown)
+                vstats.record_enqueue_aborted();
+                match e {
+                    TryPushError::GlobalFull(req) => {
+                        self.shared.stats.record_rejected();
+                        vstats.record_shed_global();
+                        reclaim(req).call(Err(ServeError::QueueFull));
+                        Err(ServeError::QueueFull)
+                    }
+                    TryPushError::VenueFull(req) => {
+                        self.shared.stats.record_rejected();
+                        vstats.record_shed_venue();
+                        let err = ServeError::VenueQueueFull { venue: venue.to_string() };
+                        reclaim(req).call(Err(err.clone()));
+                        Err(err)
+                    }
+                    TryPushError::Closed(req) => {
+                        reclaim(req).call(Err(ServeError::ShuttingDown));
+                        Err(ServeError::ShuttingDown)
+                    }
+                }
             }
         }
     }
@@ -497,7 +486,8 @@ impl ServerHandle {
     ///
     /// # Errors
     ///
-    /// Any [`ServeError`] except `QueueFull` (a full queue blocks instead).
+    /// Any [`ServeError`] except `QueueFull`/`VenueQueueFull` (a full queue
+    /// blocks instead).
     pub fn locate(&self, venue: &str, rssi: &[f32]) -> Result<LocateResponse, ServeError> {
         self.submit(venue, rssi)?.wait()
     }
@@ -507,7 +497,7 @@ impl ServerHandle {
     ///
     /// # Errors
     ///
-    /// Any [`ServeError`], including `QueueFull`.
+    /// Any [`ServeError`], including `QueueFull`/`VenueQueueFull`.
     pub fn try_locate(&self, venue: &str, rssi: &[f32]) -> Result<LocateResponse, ServeError> {
         self.try_submit(venue, rssi)?.wait()
     }
@@ -540,153 +530,5 @@ impl PendingLocate {
     /// when the server died before answering.
     pub fn wait(self) -> Result<LocateResponse, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
-    }
-}
-
-/// One executor thread: pull a request, hold the batch open for up to
-/// `max_wait`, execute, repeat.
-fn executor_loop(
-    rx: &Mutex<Receiver<Job>>,
-    registry: &ModelRegistry,
-    shared: &Shared,
-    cfg: ServerConfig,
-) {
-    loop {
-        // Park while paused (`start_paused`): the bounded queue keeps
-        // accepting but nothing executes until `resume` — see Shared::paused.
-        {
-            let mut paused = shared.paused.lock().expect("pause lock");
-            while *paused {
-                paused = shared.resume_cv.wait(paused).expect("pause lock");
-            }
-        }
-        // The queue lock is held only while *collecting* a batch (which
-        // also serializes the coalescing window across executors); batch
-        // execution runs unlocked so other executors can pull concurrently.
-        let (batch, saw_shutdown) = {
-            let rx = rx.lock().expect("queue lock");
-            let first = match rx.recv() {
-                Err(_) => return, // server and all handles gone
-                Ok(Job::Shutdown) => return,
-                Ok(Job::Locate(req)) => req,
-            };
-            let mut batch = vec![first];
-            let mut saw_shutdown = false;
-            let deadline = Instant::now() + cfg.max_wait;
-            while batch.len() < cfg.max_batch {
-                // Drain whatever is already queued without waiting —
-                // adaptive batching: requests that piled up while the
-                // previous batch executed coalesce for free.
-                match rx.try_recv() {
-                    Ok(Job::Locate(req)) => {
-                        batch.push(req);
-                        continue;
-                    }
-                    Ok(Job::Shutdown) => {
-                        saw_shutdown = true;
-                        break;
-                    }
-                    Err(TryRecvError::Disconnected) => break,
-                    Err(TryRecvError::Empty) => {}
-                }
-                // Queue empty: hold the batch open only inside the
-                // max_wait window (zero by default — see ServerConfig).
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                match rx.recv_timeout(deadline - now) {
-                    Ok(Job::Locate(req)) => batch.push(req),
-                    Ok(Job::Shutdown) => {
-                        saw_shutdown = true;
-                        break;
-                    }
-                    Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => break,
-                }
-            }
-            (batch, saw_shutdown)
-        };
-        execute_batch(registry, shared, &cfg, batch);
-        if saw_shutdown {
-            return;
-        }
-    }
-}
-
-/// Answers every request of one coalesced batch: group by venue, snapshot
-/// each venue's model once (the consistency unit across warm reloads), one
-/// `locate_batch` per group.
-fn execute_batch(
-    registry: &ModelRegistry,
-    shared: &Shared,
-    cfg: &ServerConfig,
-    batch: Vec<Request>,
-) {
-    shared.stats.record_batch(batch.len());
-
-    // Group request indices by venue, preserving first-seen order (batches
-    // hold a handful of venues at most — linear scan beats a map here).
-    let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
-    for (i, r) in batch.iter().enumerate() {
-        match groups.iter_mut().find(|(v, _)| *v == r.venue) {
-            Some((_, idxs)) => idxs.push(i),
-            None => groups.push((&r.venue, vec![i])),
-        }
-    }
-
-    let mut results: Vec<Option<Result<LocateResponse, ServeError>>> = Vec::new();
-    results.resize_with(batch.len(), || None);
-    for (venue, idxs) in groups {
-        let Some(entry) = registry.snapshot(venue) else {
-            for &i in &idxs {
-                results[i] = Some(Err(ServeError::UnknownVenue { venue: venue.to_string() }));
-            }
-            continue;
-        };
-        if entry.model().knn().is_empty() {
-            for &i in &idxs {
-                results[i] = Some(Err(ServeError::EmptyModel { venue: venue.to_string() }));
-            }
-            continue;
-        }
-        let expected = entry.model().encoder().codec().ap_count();
-        let mut ok_idx = Vec::with_capacity(idxs.len());
-        for &i in &idxs {
-            let got = batch[i].rssi.len();
-            if got == expected {
-                ok_idx.push(i);
-            } else {
-                results[i] = Some(Err(ServeError::ScanDimensionMismatch {
-                    venue: venue.to_string(),
-                    expected,
-                    got,
-                }));
-            }
-        }
-        if ok_idx.is_empty() {
-            continue;
-        }
-        let scans: Vec<&[f32]> = ok_idx.iter().map(|&i| batch[i].rssi.as_slice()).collect();
-        let positions: Vec<Point2> = if cfg.workers > 1 {
-            // Several executors may be running batches concurrently: each
-            // keeps its kernels inline so the machine is not oversubscribed
-            // (see ServerConfig::workers).
-            stone_par::inline_scope(|| entry.model().locate_batch(&scans))
-        } else {
-            entry.model().locate_batch(&scans)
-        };
-        for (&i, position) in ok_idx.iter().zip(positions) {
-            results[i] = Some(Ok(LocateResponse { position, model_version: entry.version() }));
-        }
-    }
-
-    for (req, result) in batch.into_iter().zip(results) {
-        let result = result.expect("every request of the batch is answered");
-        // Record completion *before* the reply lands: the moment a client's
-        // wait() returns, a stats() snapshot must already account for its
-        // request (the smoke test reads exact counts right after the last
-        // reply).
-        shared.stats.record_completed(req.enqueued.elapsed());
-        req.reply.send(result);
     }
 }

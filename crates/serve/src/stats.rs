@@ -1,23 +1,146 @@
 //! Server observability: queue depth, batch-size histogram, latency
-//! percentiles.
+//! percentiles — aggregate *and* per venue.
 //!
 //! The live [`ServerStats`] is a block of atomics shared between client
 //! handles and batch executors — recording a request costs a handful of
-//! relaxed atomic increments, never a lock. [`StatsSnapshot`] is the
-//! plain-data copy handed to callers; percentiles are computed on the
-//! snapshot so the hot path never sorts anything.
+//! relaxed atomic increments, never a lock on the hot path (the per-venue
+//! counters sit behind an `RwLock`ed map, but a request only ever takes the
+//! read side once to clone an `Arc`). [`StatsSnapshot`] is the plain-data
+//! copy handed to callers; percentiles are computed on the snapshot so the
+//! hot path never sorts anything.
+//!
+//! Since PR 8 the server executes **single-venue** batches (the
+//! venue-sharded scheduler), so the per-venue batch-size histograms are the
+//! direct observability of venue-affine coalescing: the aggregate histogram
+//! is exactly the sum of the venue histograms.
 //!
 //! Latencies land in power-of-two microsecond buckets (bucket `i` holds
 //! `[2^i, 2^(i+1))` µs), which bounds the memory at a fixed 40 counters
 //! regardless of traffic volume; a reported percentile is the upper edge of
 //! its bucket, i.e. exact to within 2×.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 /// Number of power-of-two latency buckets (2^39 µs ≈ 6.4 days — anything
 /// above clamps into the last bucket).
 const LATENCY_BUCKETS: usize = 40;
+
+/// Index of the power-of-two microsecond bucket a latency falls into.
+fn latency_bucket(latency: Duration) -> usize {
+    let micros = latency.as_micros().max(1) as u64;
+    (63 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+}
+
+/// The `q`-quantile of a power-of-two bucket histogram, resolved to the
+/// upper edge of its bucket. Shared by the aggregate and per-venue views.
+fn hist_quantile(hist: &[u64], q: f64) -> Option<Duration> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    // Rank of the request that decides the quantile (1-based).
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0;
+    for (i, &c) in hist.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Some(Duration::from_micros(1u64 << (i + 1)));
+        }
+    }
+    unreachable!("rank <= total by construction")
+}
+
+/// Mean batch size of a `batch_hist[s - 1] = count` histogram.
+fn hist_mean_batch(hist: &[u64]) -> f64 {
+    let batches: u64 = hist.iter().sum();
+    if batches == 0 {
+        return 0.0;
+    }
+    let requests: u64 = hist.iter().enumerate().map(|(i, &c)| (i as u64 + 1) * c).sum();
+    requests as f64 / batches as f64
+}
+
+/// Live counters of one venue's traffic — same recording discipline as the
+/// aggregate block, one instance per venue ever seen by a submit path.
+#[derive(Debug)]
+pub(crate) struct VenueStats {
+    /// Requests currently enqueued or being executed.
+    queue_depth: AtomicUsize,
+    /// Requests accepted into the venue's sub-queue since startup.
+    enqueued: AtomicU64,
+    /// Requests answered (successfully or with a per-request error).
+    completed: AtomicU64,
+    /// Requests shed because the *global* capacity was exhausted.
+    shed_global: AtomicU64,
+    /// Requests shed because this venue's own sub-queue cap was hit.
+    shed_venue: AtomicU64,
+    /// `batch_hist[s - 1]` counts executed single-venue batches of size `s`.
+    batch_hist: Vec<AtomicU64>,
+    /// Power-of-two microsecond latency buckets (enqueue → reply).
+    latency_hist: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl VenueStats {
+    fn new(max_batch: usize) -> Self {
+        Self {
+            queue_depth: AtomicUsize::new(0),
+            enqueued: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed_global: AtomicU64::new(0),
+            shed_venue: AtomicU64::new(0),
+            batch_hist: (0..max_batch).map(|_| AtomicU64::new(0)).collect(),
+            latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    pub(crate) fn record_enqueued(&self) {
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reverts a [`VenueStats::record_enqueued`] whose push never reached
+    /// the sub-queue (shed or shutting down).
+    pub(crate) fn record_enqueue_aborted(&self) {
+        self.enqueued.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed_global(&self) {
+        self.shed_global.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed_venue(&self) {
+        self.shed_venue.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, size: usize) {
+        debug_assert!(size >= 1 && size <= self.batch_hist.len());
+        self.batch_hist[size - 1].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completed(&self, latency: Duration) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency_hist[latency_bucket(latency)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, venue: &str) -> VenueStatsSnapshot {
+        VenueStatsSnapshot {
+            venue: venue.to_string(),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed_global: self.shed_global.load(Ordering::Relaxed),
+            shed_venue: self.shed_venue.load(Ordering::Relaxed),
+            batch_hist: self.batch_hist.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            latency_hist: self.latency_hist.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
 
 /// Shared live counters of one [`crate::LocalizationServer`].
 #[derive(Debug)]
@@ -28,12 +151,17 @@ pub(crate) struct ServerStats {
     enqueued: AtomicU64,
     /// Requests answered (successfully or with a per-request error).
     completed: AtomicU64,
-    /// Requests rejected at the door because the bounded queue was full.
+    /// Requests rejected at the door because a bounded queue (global or
+    /// per-venue) was full.
     rejected: AtomicU64,
     /// `batch_hist[s - 1]` counts executed batches of size `s`.
     batch_hist: Vec<AtomicU64>,
     /// Power-of-two microsecond latency buckets (enqueue → reply).
     latency_hist: [AtomicU64; LATENCY_BUCKETS],
+    /// Per-venue breakdowns, created lazily on a venue's first submit.
+    venues: RwLock<HashMap<String, Arc<VenueStats>>>,
+    /// Histogram width for lazily created venue blocks.
+    max_batch: usize,
 }
 
 impl ServerStats {
@@ -45,7 +173,24 @@ impl ServerStats {
             rejected: AtomicU64::new(0),
             batch_hist: (0..max_batch).map(|_| AtomicU64::new(0)).collect(),
             latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            venues: RwLock::new(HashMap::new()),
+            max_batch,
         }
+    }
+
+    /// The venue's counter block, created on first touch. Hot path: one
+    /// read-lock + `Arc` clone per request (submit paths look it up once
+    /// and thread the `Arc` through).
+    pub(crate) fn venue(&self, venue: &str) -> Arc<VenueStats> {
+        if let Some(v) = self.venues.read().expect("venue stats lock").get(venue) {
+            return Arc::clone(v);
+        }
+        let mut venues = self.venues.write().expect("venue stats lock");
+        Arc::clone(
+            venues
+                .entry(venue.to_string())
+                .or_insert_with(|| Arc::new(VenueStats::new(self.max_batch))),
+        )
     }
 
     pub(crate) fn record_enqueued(&self) {
@@ -72,12 +217,18 @@ impl ServerStats {
     pub(crate) fn record_completed(&self, latency: Duration) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
         self.completed.fetch_add(1, Ordering::Relaxed);
-        let micros = latency.as_micros().max(1) as u64;
-        let bucket = (63 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
-        self.latency_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_hist[latency_bucket(latency)].fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        let mut venues: Vec<VenueStatsSnapshot> = self
+            .venues
+            .read()
+            .expect("venue stats lock")
+            .iter()
+            .map(|(name, v)| v.snapshot(name))
+            .collect();
+        venues.sort_by(|a, b| a.venue.cmp(&b.venue));
         StatsSnapshot {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             enqueued: self.enqueued.load(Ordering::Relaxed),
@@ -85,7 +236,80 @@ impl ServerStats {
             rejected: self.rejected.load(Ordering::Relaxed),
             batch_hist: self.batch_hist.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
             latency_hist: self.latency_hist.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            venues,
         }
+    }
+}
+
+/// A point-in-time copy of one venue's counters (see
+/// [`StatsSnapshot::venues`]). Every executed batch is single-venue under
+/// the sharded scheduler, so `batch_hist` here is the venue's *own* encoder
+/// batch-size distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VenueStatsSnapshot {
+    /// The venue these counters describe.
+    pub venue: String,
+    /// Requests currently enqueued or being executed for this venue.
+    pub queue_depth: usize,
+    /// Requests accepted into this venue's sub-queue since startup.
+    pub enqueued: u64,
+    /// Requests answered (successfully or with a per-request error).
+    pub completed: u64,
+    /// Requests shed because the server's **global** capacity was full
+    /// ([`crate::ServeError::QueueFull`]).
+    pub shed_global: u64,
+    /// Requests shed because this venue's **own** sub-queue cap was hit
+    /// ([`crate::ServeError::VenueQueueFull`]).
+    pub shed_venue: u64,
+    /// `batch_hist[s - 1]` counts executed single-venue batches of size `s`.
+    pub batch_hist: Vec<u64>,
+    /// Power-of-two microsecond latency buckets: `latency_hist[i]` counts
+    /// requests whose enqueue→reply latency fell in `[2^i, 2^(i+1))` µs.
+    pub latency_hist: Vec<u64>,
+}
+
+impl VenueStatsSnapshot {
+    /// Requests shed for this venue, whatever the cause (global capacity or
+    /// the venue's own cap).
+    #[must_use]
+    pub fn shed(&self) -> u64 {
+        self.shed_global + self.shed_venue
+    }
+
+    /// Number of single-venue batches executed for this venue.
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.batch_hist.iter().sum()
+    }
+
+    /// Mean executed batch size for this venue (0.0 when no batch ran yet).
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        hist_mean_batch(&self.batch_hist)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of this venue's enqueue→reply
+    /// latency, resolved to the upper edge of its power-of-two microsecond
+    /// bucket. Returns `None` when no request completed yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
+        hist_quantile(&self.latency_hist, q)
+    }
+
+    /// Median enqueue→reply latency for this venue.
+    #[must_use]
+    pub fn p50(&self) -> Option<Duration> {
+        self.latency_quantile(0.50)
+    }
+
+    /// 99th-percentile enqueue→reply latency for this venue.
+    #[must_use]
+    pub fn p99(&self) -> Option<Duration> {
+        self.latency_quantile(0.99)
     }
 }
 
@@ -98,14 +322,19 @@ pub struct StatsSnapshot {
     pub enqueued: u64,
     /// Requests answered (successfully or with a per-request error).
     pub completed: u64,
-    /// Requests rejected because the bounded queue was full
-    /// ([`crate::ServerHandle::try_locate`] backpressure).
+    /// Requests rejected because a bounded queue was full — global capacity
+    /// and per-venue cap rejections both land here
+    /// ([`crate::ServerHandle::try_locate`] backpressure); the per-venue
+    /// entries in [`StatsSnapshot::venues`] split the two causes.
     pub rejected: u64,
     /// `batch_hist[s - 1]` counts executed batches of size `s`.
     pub batch_hist: Vec<u64>,
     /// Power-of-two microsecond latency buckets: `latency_hist[i]` counts
     /// requests whose enqueue→reply latency fell in `[2^i, 2^(i+1))` µs.
     pub latency_hist: Vec<u64>,
+    /// Per-venue breakdowns, sorted by venue name. A venue appears once any
+    /// submit path has touched it (including submits that were shed).
+    pub venues: Vec<VenueStatsSnapshot>,
 }
 
 impl StatsSnapshot {
@@ -124,13 +353,13 @@ impl StatsSnapshot {
     /// Mean executed batch size (0.0 when no batch ran yet).
     #[must_use]
     pub fn mean_batch_size(&self) -> f64 {
-        let batches = self.batches();
-        if batches == 0 {
-            return 0.0;
-        }
-        let requests: u64 =
-            self.batch_hist.iter().enumerate().map(|(i, &c)| (i as u64 + 1) * c).sum();
-        requests as f64 / batches as f64
+        hist_mean_batch(&self.batch_hist)
+    }
+
+    /// The per-venue breakdown for `venue`, if any submit path touched it.
+    #[must_use]
+    pub fn venue(&self, venue: &str) -> Option<&VenueStatsSnapshot> {
+        self.venues.iter().find(|v| v.venue == venue)
     }
 
     /// The `q`-quantile (`0.0..=1.0`) of the enqueue→reply latency,
@@ -142,21 +371,7 @@ impl StatsSnapshot {
     /// Panics when `q` is outside `[0, 1]`.
     #[must_use]
     pub fn latency_quantile(&self, q: f64) -> Option<Duration> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        let total: u64 = self.latency_hist.iter().sum();
-        if total == 0 {
-            return None;
-        }
-        // Rank of the request that decides the quantile (1-based).
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0;
-        for (i, &c) in self.latency_hist.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(Duration::from_micros(1u64 << (i + 1)));
-            }
-        }
-        unreachable!("rank <= total by construction")
+        hist_quantile(&self.latency_hist, q)
     }
 
     /// Median enqueue→reply latency (see [`StatsSnapshot::latency_quantile`]).
@@ -224,6 +439,7 @@ mod tests {
         let snap = ServerStats::new(1).snapshot();
         assert_eq!(snap.p50(), None);
         assert_eq!(snap.mean_batch_size(), 0.0);
+        assert!(snap.venues.is_empty());
     }
 
     #[test]
@@ -231,5 +447,37 @@ mod tests {
         let stats = ServerStats::new(1);
         stats.record_completed(Duration::from_nanos(1));
         assert_eq!(stats.snapshot().latency_quantile(1.0), Some(Duration::from_micros(2)));
+    }
+
+    #[test]
+    fn venue_breakdowns_split_shed_causes_and_sort_by_name() {
+        let stats = ServerStats::new(4);
+        let b = stats.venue("b");
+        let a = stats.venue("a");
+        a.record_enqueued();
+        a.record_batch(1);
+        a.record_completed(Duration::from_micros(9));
+        b.record_enqueued();
+        b.record_enqueue_aborted();
+        b.record_shed_global();
+        b.record_shed_venue();
+        b.record_shed_venue();
+
+        let snap = stats.snapshot();
+        let names: Vec<&str> = snap.venues.iter().map(|v| v.venue.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        let a = snap.venue("a").expect("venue a tracked");
+        assert_eq!((a.enqueued, a.completed, a.queue_depth), (1, 1, 0));
+        assert_eq!(a.batch_hist, vec![1, 0, 0, 0]);
+        assert!((a.mean_batch_size() - 1.0).abs() < 1e-12);
+        assert_eq!(a.p50(), Some(Duration::from_micros(16)));
+        let b = snap.venue("b").expect("venue b tracked");
+        assert_eq!((b.enqueued, b.queue_depth), (0, 0), "aborted enqueue reverted");
+        assert_eq!((b.shed_global, b.shed_venue, b.shed()), (1, 2, 3));
+        assert_eq!(b.p50(), None);
+        assert!(snap.venue("c").is_none());
+        // The same Arc is returned on re-lookup.
+        stats.venue("a").record_enqueued();
+        assert_eq!(stats.snapshot().venue("a").expect("venue a").enqueued, 2);
     }
 }

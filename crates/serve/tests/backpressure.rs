@@ -53,6 +53,7 @@ fn overflow_beyond_capacity_is_shed_exactly() {
             max_wait: Duration::ZERO,
             queue_capacity: CAPACITY,
             workers: 1,
+            ..ServerConfig::default()
         },
     );
     let handle = server.handle();
@@ -118,7 +119,13 @@ fn callbacks_fire_exactly_once_across_shutdown() {
 
     let server = LocalizationServer::start_paused(
         registry,
-        ServerConfig { max_batch: 16, max_wait: Duration::ZERO, queue_capacity: 8, workers: 1 },
+        ServerConfig {
+            max_batch: 16,
+            max_wait: Duration::ZERO,
+            queue_capacity: 8,
+            workers: 1,
+            ..ServerConfig::default()
+        },
     );
     let handle = server.handle();
 

@@ -55,6 +55,7 @@ fn concurrent_clients_coalesce_and_survive_warm_reload() {
             max_wait: Duration::from_millis(50),
             queue_capacity: 256,
             workers: 1,
+            ..ServerConfig::default()
         },
     );
     let v1 = registry.snapshot("office").expect("v1 published");

@@ -468,6 +468,26 @@ fn main() {
             serve_stats.rejected,
             serve_stats.mean_batch_size(),
         );
+        // The scheduler's own per-venue view: how fat each venue's batches
+        // stayed under the sharded drain, and which capacity (global vs
+        // per-venue) did the shedding.
+        println!();
+        println!(
+            "{:<10} {:>9} {:>10} {:>9} {:>11} {:>9} {:>9}",
+            "scheduler", "completed", "shed-glob", "shed-ven", "mean batch", "p50", "p99"
+        );
+        for v in &serve_stats.venues {
+            println!(
+                "{:<10} {:>9} {:>10} {:>9} {:>11.2} {:>9} {:>9}",
+                v.venue,
+                v.completed,
+                v.shed_global,
+                v.shed_venue,
+                v.mean_batch_size(),
+                fmt_latency(v.p50()),
+                fmt_latency(v.p99()),
+            );
+        }
         assert_eq!(fleet_total.sent, wire.requests_decoded, "every sent frame was decoded");
     } else {
         println!(

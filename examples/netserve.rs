@@ -16,7 +16,7 @@
 use std::sync::Arc;
 
 use stone_repro::dataset::office_suite;
-use stone_repro::net::NetServer;
+use stone_repro::net::{codec::fmt_latency, NetServer};
 use stone_repro::prelude::*;
 
 fn main() {
@@ -79,4 +79,20 @@ fn main() {
         serve_stats.rejected,
         serve_stats.mean_batch_size(),
     );
+    // Per-venue scheduler breakdown: batch fattening and shed attribution
+    // under the venue-sharded drain.
+    for v in &serve_stats.venues {
+        println!(
+            "netserve:   {}: {} completed, {} shed (global {}, venue {}), mean batch {:.2}, \
+             p50 {}, p99 {}",
+            v.venue,
+            v.completed,
+            v.shed(),
+            v.shed_global,
+            v.shed_venue,
+            v.mean_batch_size(),
+            fmt_latency(v.p50()),
+            fmt_latency(v.p99()),
+        );
+    }
 }

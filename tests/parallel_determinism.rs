@@ -235,6 +235,7 @@ fn localization_server_batching_is_deterministic_across_thread_counts() {
                         max_wait: Duration::from_millis(5),
                         queue_capacity: 64,
                         workers: 1,
+                        ..ServerConfig::default()
                     },
                 );
                 let handle = server.handle();
