@@ -271,7 +271,7 @@ fn bench_serve_batching(c: &mut Criterion) {
     for (name, max_batch) in
         [("serve/64scans_4clients_uncoalesced", 1), ("serve/64scans_4clients_coalesced", 64)]
     {
-        let server = LocalizationServer::start(
+        let mut server = LocalizationServer::start(
             Arc::clone(&registry),
             ServerConfig { max_batch, ..ServerConfig::default() },
         );

@@ -20,6 +20,7 @@
 //!   weights         (u32 byte length; stone_nn::save_weights blob)
 //!   knn entries     (u32 count, u32 dim; per entry: u32 rp,
 //!                    f64 x, f64 y, dim × f32 embedding)
+//!   u32 crc32       (version ≥ 2: IEEE CRC32 of every preceding byte)
 //! ```
 //!
 //! Floats are stored by bit pattern (`to_le_bytes`/`from_le_bytes`), so
@@ -45,7 +46,28 @@ use crate::trainer::{EpochStats, TrainedEncoder, TrainerConfig};
 use crate::triplet::SelectorKind;
 
 const MAGIC: &[u8; 4] = b"STNL";
-const VERSION: u32 = 1;
+/// Current format version. Version 2 appends a little-endian IEEE CRC32 of
+/// every preceding byte, so a flipped bit anywhere in the blob — header,
+/// weights, reference set — fails [`load`] with
+/// [`ModelIoError::ChecksumMismatch`] instead of silently deploying a
+/// corrupted model. Version-1 blobs (no checksum) are still accepted.
+const VERSION: u32 = 2;
+/// Oldest format version [`load`] still accepts.
+const MIN_VERSION: u32 = 1;
+
+/// IEEE CRC32 (reflected, polynomial 0xEDB88320) — the checksum sealing a
+/// version-2 blob. Bitwise implementation: model blobs are published rarely
+/// and are at most a few hundred KiB, so a lookup table buys nothing here.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & 0u32.wrapping_sub(crc & 1));
+        }
+    }
+    !crc
+}
 
 /// Errors produced when loading a serialized [`StoneLocalizer`].
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +99,14 @@ pub enum ModelIoError {
     /// The encoder weight block is malformed or does not match the
     /// architecture the stored configuration describes.
     Weights(WeightIoError),
+    /// The blob's trailing CRC32 does not match its content — the bytes
+    /// were corrupted in transit or at rest (version ≥ 2 blobs only).
+    ChecksumMismatch {
+        /// The checksum stored in the blob's trailer.
+        stored: u32,
+        /// The checksum computed over the blob's content.
+        computed: u32,
+    },
 }
 
 impl std::fmt::Display for ModelIoError {
@@ -84,7 +114,11 @@ impl std::fmt::Display for ModelIoError {
         match self {
             ModelIoError::BadHeader => write!(f, "bad model-file header"),
             ModelIoError::UnsupportedVersion { version } => {
-                write!(f, "unsupported model format version {version} (supported: {VERSION})")
+                write!(
+                    f,
+                    "unsupported model format version {version} \
+                     (supported: {MIN_VERSION}..={VERSION})"
+                )
             }
             ModelIoError::Truncated => write!(f, "model data truncated"),
             ModelIoError::TrailingBytes { extra } => {
@@ -93,6 +127,12 @@ impl std::fmt::Display for ModelIoError {
             ModelIoError::InvalidField { detail } => write!(f, "invalid model field: {detail}"),
             ModelIoError::InvalidConfig(e) => write!(f, "stored configuration invalid: {e}"),
             ModelIoError::Weights(e) => write!(f, "encoder weights: {e}"),
+            ModelIoError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "model blob corrupted: stored CRC32 {stored:#010x}, computed {computed:#010x}"
+                )
+            }
         }
     }
 }
@@ -259,6 +299,12 @@ pub fn save(loc: &StoneLocalizer) -> Vec<u8> {
             w.f32(v);
         }
     }
+
+    // Version-2 trailer: CRC32 of everything above, so any corruption of
+    // the blob — including flipped weight bits that would otherwise decode
+    // fine — fails load() instead of deploying silently.
+    let crc = crc32(&w.bytes);
+    w.u32(crc);
     w.bytes
 }
 
@@ -274,8 +320,21 @@ pub fn load(bytes: &[u8]) -> Result<StoneLocalizer, ModelIoError> {
     }
     let mut r = Reader { bytes, pos: 4 };
     let version = r.u32()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(ModelIoError::UnsupportedVersion { version });
+    }
+    if version >= 2 {
+        // The checksum is verified over the whole content *before* any
+        // field is trusted; the reader is then re-bounded to the content so
+        // the trailer itself never parses as model data.
+        let content_len =
+            bytes.len().checked_sub(4).filter(|&n| n >= 8).ok_or(ModelIoError::Truncated)?;
+        let stored = u32::from_le_bytes(bytes[content_len..].try_into().expect("4-byte trailer"));
+        let computed = crc32(&bytes[..content_len]);
+        if stored != computed {
+            return Err(ModelIoError::ChecksumMismatch { stored, computed });
+        }
+        r = Reader { bytes: &bytes[..content_len], pos: 8 };
     }
 
     let trainer = TrainerConfig {
@@ -401,6 +460,15 @@ mod tests {
         assert_eq!(loaded.knn().len(), loc.knn().len());
     }
 
+    /// Recomputes the version-2 CRC32 trailer after a test deliberately
+    /// corrupted some field, so the *structural* validation under test is
+    /// reached instead of the checksum tripping first.
+    fn reseal(blob: &mut [u8]) {
+        let n = blob.len() - 4;
+        let crc = crc32(&blob[..n]);
+        blob[n..].copy_from_slice(&crc.to_le_bytes());
+    }
+
     #[test]
     fn rejects_bad_magic_and_version() {
         assert_eq!(load(b"").unwrap_err(), ModelIoError::BadHeader);
@@ -414,6 +482,7 @@ mod tests {
     fn rejects_trailing_bytes() {
         let mut blob = save(&tiny_localizer(3));
         blob.extend_from_slice(b"junk");
+        reseal(&mut blob);
         assert_eq!(load(&blob).unwrap_err(), ModelIoError::TrailingBytes { extra: 4 });
     }
 
@@ -424,11 +493,13 @@ mod tests {
         // 8 (header) + 4*4 + 3*4 = 36.
         let mut bad = blob.clone();
         bad[36] = 7;
+        reseal(&mut bad);
         assert!(matches!(load(&bad).unwrap_err(), ModelIoError::InvalidField { .. }));
         // KNN mode tag: selector (1) + sigma (8) + enroll (4) + knn_k (4)
         // further along.
         let mut bad = blob;
         bad[36 + 1 + 8 + 4 + 4] = 9;
+        reseal(&mut bad);
         assert!(matches!(load(&bad).unwrap_err(), ModelIoError::InvalidField { .. }));
     }
 
@@ -437,6 +508,7 @@ mod tests {
         let mut blob = save(&tiny_localizer(5));
         // Zero out knn_k (offset 36 + 1 + 8 + 4).
         blob[49..53].copy_from_slice(&0u32.to_le_bytes());
+        reseal(&mut blob);
         assert!(matches!(
             load(&blob).unwrap_err(),
             ModelIoError::InvalidConfig(ConfigError::ZeroKnnK)
@@ -450,6 +522,7 @@ mod tests {
         // length alone, before build_encoder can allocate gigabytes.
         let mut blob = save(&tiny_localizer(7));
         blob[54..58].copy_from_slice(&u32::MAX.to_le_bytes());
+        reseal(&mut blob);
         assert!(matches!(load(&blob).unwrap_err(), ModelIoError::InvalidField { .. }));
     }
 
@@ -462,6 +535,44 @@ mod tests {
         // (knn cfg) + 4 (ap_count) = 58.
         let mut bad = blob;
         bad[58..62].copy_from_slice(&u32::MAX.to_le_bytes());
+        reseal(&mut bad);
         assert_eq!(load(&bad).unwrap_err(), ModelIoError::Truncated);
+    }
+
+    #[test]
+    fn flipped_weight_byte_fails_the_checksum() {
+        // A bit flip deep in the weight block decodes as a perfectly valid
+        // (wrong) f32 — only the CRC can catch it. Before version 2 this
+        // blob would have loaded and served silently-corrupted answers.
+        let blob = save(&tiny_localizer(8));
+        let mut bad = blob.clone();
+        let mid = blob.len() * 2 / 3; // deep inside the weight/knn payload
+        bad[mid] ^= 0x40;
+        match load(&bad).unwrap_err() {
+            ModelIoError::ChecksumMismatch { stored, computed } => {
+                assert_ne!(stored, computed);
+                assert_eq!(stored, u32::from_le_bytes(blob[blob.len() - 4..].try_into().unwrap()));
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_v1_blobs_without_checksum_still_load() {
+        // A version-1 blob is the version-2 content minus the CRC trailer
+        // with the version field rewound — published by any pre-CRC build.
+        let loc = tiny_localizer(9);
+        let v2 = save(&loc);
+        let mut v1 = v2[..v2.len() - 4].to_vec();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let loaded = load(&v1).expect("legacy blob loads");
+        // Re-serializing the legacy load produces today's sealed format.
+        assert_eq!(save(&loaded), v2);
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical check value of IEEE CRC32: crc("123456789").
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

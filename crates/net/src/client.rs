@@ -6,6 +6,14 @@
 //! drains whatever responses have arrived, matching them back to requests
 //! by the echoed id — which is what lets one thread simulate a device that
 //! keeps scanning regardless of how far behind the server is.
+//!
+//! A client can carry a [`RetryPolicy`]: the blocking `locate` paths then
+//! retry **transient** failures only — [`WireStatus::Shed`] (backpressure),
+//! [`WireStatus::ShuttingDown`], and connection errors (reconnecting first)
+//! — with exponential backoff and deterministic, seed-derived jitter.
+//! Terminal answers (unknown venue, dimension mismatch, a deadline already
+//! spent, an open breaker) are never retried: hammering a server that just
+//! told you why the request cannot succeed is how retry storms start.
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -15,6 +23,80 @@ use crate::codec::{
     decode_response, encode_request, FrameBuffer, ScanRequest, ScanResponse, WireError,
     WirePosition, WireStatus,
 };
+
+/// How the blocking `locate` paths of a [`NetClient`] handle transient
+/// failures. [`RetryPolicy::none`] (the [`NetClient::connect`] default)
+/// surfaces every error to the caller — existing backpressure contracts see
+/// every shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries per `locate`, the first included; 1 disables retry.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Cap on the (pre-jitter) exponential backoff.
+    pub max_backoff: Duration,
+    /// Lifetime cap on retries across the whole client — the anti-
+    /// retry-storm valve: once spent, errors surface immediately even if
+    /// `max_attempts` would allow another try. `u32::MAX` means unlimited.
+    pub retry_budget: u32,
+    /// Seed for the deterministic jitter: each backoff is scaled by a
+    /// factor in `[0.5, 1.0)` derived from `jitter_seed ^ attempt`, so a
+    /// fleet of clients with different seeds decorrelates without any
+    /// global randomness (reruns stay reproducible).
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every failure surfaces to the caller immediately.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            retry_budget: 0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// A small default: 3 tries, 1 ms base backoff capped at 50 ms,
+    /// unlimited budget, jittered by `seed`.
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            retry_budget: u32::MAX,
+            jitter_seed: seed,
+        }
+    }
+
+    /// The sleep before retry number `attempt` (1-based): exponential,
+    /// capped, jittered into `[0.5, 1.0)` of the nominal value.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let nominal = self
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(attempt.saturating_sub(1)).unwrap_or(u32::MAX))
+            .min(self.max_backoff);
+        let jitter = 0.5 + 0.5 * frac64(splitmix64(self.jitter_seed ^ u64::from(attempt)));
+        nominal.mul_f64(jitter)
+    }
+}
+
+/// SplitMix64 — the workspace's stock seed scrambler.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a u64 to `[0, 1)`.
+fn frac64(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -57,19 +139,56 @@ pub struct NetClient {
     stream: TcpStream,
     frames: FrameBuffer,
     next_id: u64,
+    policy: RetryPolicy,
+    /// Where we connected — the reconnect target after a broken pipe.
+    peer: SocketAddr,
+    read_timeout: Option<Duration>,
+    total_retries: u64,
 }
 
 impl NetClient {
-    /// Connects to a server. `TCP_NODELAY` is enabled — frames are small
-    /// and latency-sensitive.
+    /// Connects to a server with no retry policy ([`RetryPolicy::none`]).
+    /// `TCP_NODELAY` is enabled — frames are small and latency-sensitive.
     ///
     /// # Errors
     ///
     /// Any [`std::io::Error`] from connecting.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_with(addr, RetryPolicy::none())
+    }
+
+    /// Connects with a [`RetryPolicy`] applied by the blocking `locate`
+    /// paths.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from connecting.
+    pub fn connect_with(addr: impl ToSocketAddrs, policy: RetryPolicy) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream, frames: FrameBuffer::new(), next_id: 1 })
+        let peer = stream.peer_addr()?;
+        Ok(Self {
+            stream,
+            frames: FrameBuffer::new(),
+            next_id: 1,
+            policy,
+            peer,
+            read_timeout: None,
+            total_retries: 0,
+        })
+    }
+
+    /// Replaces the retry policy (e.g. to enable retries after probing the
+    /// server once without them).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Retries performed over this client's lifetime (across reconnects) —
+    /// the loadgen's retry-amplification numerator.
+    #[must_use]
+    pub fn total_retries(&self) -> u64 {
+        self.total_retries
     }
 
     /// The local socket address.
@@ -89,11 +208,29 @@ impl NetClient {
     /// [`ClientError::Encode`] when the request violates the wire caps
     /// (nothing is sent), or [`ClientError::Io`] from the socket.
     pub fn send(&mut self, venue: &str, rssi: &[f32]) -> Result<u64, ClientError> {
+        self.send_deadline(venue, rssi, 0)
+    }
+
+    /// [`NetClient::send`] with a deadline budget in microseconds (0 = no
+    /// deadline): if the request is still queued server-side when the
+    /// budget runs out, its response is [`WireStatus::DeadlineExceeded`]
+    /// and the model is never consulted.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetClient::send`].
+    pub fn send_deadline(
+        &mut self,
+        venue: &str,
+        rssi: &[f32],
+        deadline_us: u32,
+    ) -> Result<u64, ClientError> {
         let request_id = self.next_id;
         let frame = encode_request(&ScanRequest {
             request_id,
             venue: venue.to_string(),
             rssi: rssi.to_vec(),
+            deadline_us,
         })
         .map_err(ClientError::Encode)?;
         self.stream.write_all(&frame)?;
@@ -154,14 +291,64 @@ impl NetClient {
     /// Sends one scan and blocks until **its** answer arrives (responses
     /// to other pipelined requests received meanwhile are decoded and
     /// dropped — use [`NetClient::send`]/[`NetClient::recv`] directly when
-    /// pipelining).
+    /// pipelining). Transient failures are retried per the client's
+    /// [`RetryPolicy`] (none by default).
     ///
     /// # Errors
     ///
     /// Any [`ClientError`]; a server-side error code surfaces as
     /// [`ClientError::Status`].
     pub fn locate(&mut self, venue: &str, rssi: &[f32]) -> Result<WirePosition, ClientError> {
-        let id = self.send(venue, rssi)?;
+        self.locate_deadline_us(venue, rssi, 0)
+    }
+
+    /// [`NetClient::locate`] with a per-attempt deadline budget in
+    /// microseconds (see [`NetClient::send_deadline`]). A
+    /// [`WireStatus::DeadlineExceeded`] answer is **not** retried — the
+    /// budget is the client saying the answer is worthless after that long.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; a server-side error code surfaces as
+    /// [`ClientError::Status`].
+    pub fn locate_deadline_us(
+        &mut self,
+        venue: &str,
+        rssi: &[f32],
+        deadline_us: u32,
+    ) -> Result<WirePosition, ClientError> {
+        let mut attempt = 1u32;
+        loop {
+            let err = match self.locate_once(venue, rssi, deadline_us) {
+                Ok(pos) => return Ok(pos),
+                Err(e) => e,
+            };
+            if attempt >= self.policy.max_attempts
+                || self.total_retries >= u64::from(self.policy.retry_budget)
+                || !retryable(&err)
+            {
+                return Err(err);
+            }
+            // A dead connection gets one reconnect try per retry; if it
+            // fails, keep the broken stream — the next attempt fails fast
+            // and may retry again, until attempts or budget run out.
+            if matches!(err, ClientError::Closed | ClientError::Io(_)) {
+                self.reconnect();
+            }
+            self.total_retries += 1;
+            std::thread::sleep(self.policy.backoff(attempt));
+            attempt += 1;
+        }
+    }
+
+    /// One send + wait-for-my-id cycle, no retries.
+    fn locate_once(
+        &mut self,
+        venue: &str,
+        rssi: &[f32],
+        deadline_us: u32,
+    ) -> Result<WirePosition, ClientError> {
+        let id = self.send_deadline(venue, rssi, deadline_us)?;
         loop {
             let resp = self.recv()?;
             if resp.request_id == id {
@@ -170,13 +357,27 @@ impl NetClient {
         }
     }
 
+    /// Re-dials the peer, replacing the dead stream and dropping any
+    /// half-received frame residue (it belonged to the old connection).
+    /// Returns whether the dial succeeded.
+    fn reconnect(&mut self) -> bool {
+        let Ok(stream) = TcpStream::connect(self.peer) else { return false };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(self.read_timeout);
+        self.stream = stream;
+        self.frames = FrameBuffer::new();
+        true
+    }
+
     /// Sets the blocking-read timeout used by [`NetClient::recv`] /
-    /// [`NetClient::locate`] (`None` blocks forever).
+    /// [`NetClient::locate`] (`None` blocks forever). Survives a
+    /// retry-triggered reconnect.
     ///
     /// # Errors
     ///
     /// Any [`std::io::Error`] from the socket.
-    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.read_timeout = timeout;
         self.stream.set_read_timeout(timeout)
     }
 
@@ -202,5 +403,76 @@ impl NetClient {
                 Err(e) => return Err(e.into()),
             }
         }
+    }
+}
+
+/// Whether an error is worth another try under a [`RetryPolicy`]:
+/// backpressure sheds, a draining server, and connection-level failures.
+/// Everything else is terminal — the server *answered*; asking again with
+/// the same request reproduces the same answer at best and a retry storm at
+/// worst.
+fn retryable(e: &ClientError) -> bool {
+    match e {
+        ClientError::Status(WireStatus::Shed | WireStatus::ShuttingDown) => true,
+        ClientError::Closed => true,
+        ClientError::Io(e) => matches!(
+            e.kind(),
+            ErrorKind::BrokenPipe
+                | ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+                | ErrorKind::ConnectionRefused
+                | ErrorKind::NotConnected
+                | ErrorKind::UnexpectedEof
+        ),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_jittered_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(4),
+            max_backoff: Duration::from_millis(40),
+            retry_budget: u32::MAX,
+            jitter_seed: 7,
+        };
+        for attempt in 1..10 {
+            let nominal = p
+                .base_backoff
+                .saturating_mul(1u32.checked_shl(attempt - 1).unwrap_or(u32::MAX))
+                .min(p.max_backoff);
+            let b = p.backoff(attempt);
+            assert_eq!(b, p.backoff(attempt), "same seed + attempt → same backoff");
+            assert!(b >= nominal.mul_f64(0.5) && b < nominal, "jitter stays in [0.5, 1.0)");
+        }
+        // Different seeds decorrelate (not a proof, but the obvious check).
+        let q = RetryPolicy { jitter_seed: 8, ..p };
+        assert_ne!(p.backoff(3), q.backoff(3));
+    }
+
+    #[test]
+    fn only_transient_errors_are_retryable() {
+        assert!(retryable(&ClientError::Status(WireStatus::Shed)));
+        assert!(retryable(&ClientError::Status(WireStatus::ShuttingDown)));
+        assert!(retryable(&ClientError::Closed));
+        assert!(retryable(&ClientError::Io(std::io::Error::from(ErrorKind::BrokenPipe))));
+        for terminal in [
+            WireStatus::UnknownVenue,
+            WireStatus::DimensionMismatch,
+            WireStatus::EmptyModel,
+            WireStatus::Malformed,
+            WireStatus::Internal,
+            WireStatus::DeadlineExceeded,
+            WireStatus::Unavailable,
+        ] {
+            assert!(!retryable(&ClientError::Status(terminal)), "{terminal:?} must be terminal");
+        }
+        assert!(!retryable(&ClientError::Io(std::io::Error::from(ErrorKind::TimedOut))));
+        assert!(!retryable(&ClientError::Wire(WireError::Truncated)));
     }
 }

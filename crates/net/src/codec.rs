@@ -15,10 +15,20 @@
 
 use std::time::Duration;
 
-/// Version byte every payload starts with. Decoders reject anything else —
-/// protocol evolution bumps this, and mixed fleets negotiate by venue
-/// deployment, not in-band.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Version byte this codec emits. Decoders accept the whole
+/// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] range, so an upgraded
+/// server keeps talking to old clients: a v1 request simply carries no
+/// deadline (it decodes with `deadline_us == 0`), and the server echoes the
+/// **request's** version in its response so a v1 client never sees bytes it
+/// cannot parse. v2 added the `u32` deadline budget to requests and the
+/// [`WireStatus::DeadlineExceeded`] / [`WireStatus::Unavailable`] codes;
+/// when a response to a *v1* request would carry a status v1 cannot name,
+/// [`encode_response`] downgrades it to [`WireStatus::Internal`]
+/// (`DeadlineExceeded` cannot occur — a v1 request carries no deadline).
+pub const PROTOCOL_VERSION: u8 = 2;
+
+/// Oldest protocol version the decoders still accept.
+pub const MIN_PROTOCOL_VERSION: u8 = 1;
 
 /// Hard cap on the declared payload length, in bytes. Anything larger is
 /// rejected before allocation (a generous bound: the largest legal request
@@ -49,6 +59,13 @@ pub struct ScanRequest {
     pub venue: String,
     /// The RSSI vector, one entry per AP of the venue's universe.
     pub rssi: Vec<f32>,
+    /// Deadline budget in microseconds, counted from the moment the server
+    /// decodes the request; **0 means no deadline** (and is what a v1 frame,
+    /// which has no field for it, decodes to). A request still queued when
+    /// its budget runs out is answered [`WireStatus::DeadlineExceeded`]
+    /// without ever reaching the model. The `u32` range tops out around 71
+    /// minutes — far past any sane queueing deadline.
+    pub deadline_us: u32,
 }
 
 /// A successful localization answer carried by a [`ScanResponse`].
@@ -81,8 +98,21 @@ pub enum WireStatus {
     /// request id 0 as a goodbye: the server closes the connection after
     /// it (a framing error is not recoverable in-stream).
     Malformed = 6,
-    /// Any server-side failure without a more specific code.
+    /// Any server-side failure without a more specific code — including a
+    /// batch that panicked inside the model call (isolated server-side; the
+    /// request fails, the server survives).
     Internal = 7,
+    /// The request's deadline budget expired while it was still queued; it
+    /// never reached the model. Only requests that carried a deadline
+    /// (protocol v2, `deadline_us > 0`) can receive this.
+    DeadlineExceeded = 8,
+    /// The venue's circuit breaker is open: recent batches for it kept
+    /// failing, and the server fast-fails the venue without touching the
+    /// model until a cooldown passes (rolling back to its last-good model
+    /// meanwhile). Retryable — but give it longer than a [`WireStatus::Shed`]
+    /// retry. v2-only: in a response to a v1 request it is downgraded to
+    /// [`WireStatus::Internal`].
+    Unavailable = 9,
 }
 
 impl WireStatus {
@@ -97,6 +127,8 @@ impl WireStatus {
             5 => WireStatus::ShuttingDown,
             6 => WireStatus::Malformed,
             7 => WireStatus::Internal,
+            8 => WireStatus::DeadlineExceeded,
+            9 => WireStatus::Unavailable,
             _ => return None,
         })
     }
@@ -112,6 +144,8 @@ impl std::fmt::Display for WireStatus {
             WireStatus::ShuttingDown => "server shutting down",
             WireStatus::Malformed => "malformed frame",
             WireStatus::Internal => "internal error",
+            WireStatus::DeadlineExceeded => "deadline exceeded in queue",
+            WireStatus::Unavailable => "venue unavailable (breaker open)",
         };
         f.write_str(s)
     }
@@ -130,6 +164,8 @@ impl From<&stone_serve::ServeError> for WireStatus {
             ServeError::ScanDimensionMismatch { .. } => WireStatus::DimensionMismatch,
             ServeError::EmptyModel { .. } => WireStatus::EmptyModel,
             ServeError::ShuttingDown => WireStatus::ShuttingDown,
+            ServeError::DeadlineExceeded { .. } => WireStatus::DeadlineExceeded,
+            ServeError::VenueUnavailable { .. } => WireStatus::Unavailable,
             // `ServeError` is non_exhaustive; anything future maps to the
             // catch-all rather than silently becoming a different contract.
             _ => WireStatus::Internal,
@@ -159,7 +195,8 @@ pub enum WireError {
         /// The declared length.
         declared: usize,
     },
-    /// The version byte is not [`PROTOCOL_VERSION`].
+    /// The version byte is outside
+    /// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`].
     BadVersion(u8),
     /// The kind byte is not a known message kind.
     BadKind(u8),
@@ -184,7 +221,10 @@ impl std::fmt::Display for WireError {
                 write!(f, "declared payload of {declared} B exceeds the {MAX_FRAME_LEN} B cap")
             }
             WireError::BadVersion(v) => {
-                write!(f, "protocol version {v} (expected {PROTOCOL_VERSION})")
+                write!(
+                    f,
+                    "protocol version {v} (supported: {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
+                )
             }
             WireError::BadKind(k) => write!(f, "unknown message kind {k}"),
             WireError::BadStatus(s) => write!(f, "unknown status code {s}"),
@@ -225,6 +265,10 @@ impl<'a> Cursor<'a> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
     }
 
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
     fn u64(&mut self) -> Result<u64, WireError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
@@ -246,8 +290,8 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn push_header(out: &mut Vec<u8>, kind: u8, request_id: u64) {
-    out.extend_from_slice(&[PROTOCOL_VERSION, kind]);
+fn push_header(out: &mut Vec<u8>, version: u8, kind: u8, request_id: u64) {
+    out.extend_from_slice(&[version, kind]);
     out.extend_from_slice(&request_id.to_le_bytes());
 }
 
@@ -259,13 +303,31 @@ fn seal(mut payload: Vec<u8>) -> Vec<u8> {
     payload
 }
 
-/// Encodes one request into a ready-to-send frame (length prefix included).
+/// Encodes one request into a ready-to-send frame (length prefix included),
+/// as the current [`PROTOCOL_VERSION`].
 ///
 /// # Errors
 ///
 /// [`WireError::VenueTooLong`] / [`WireError::TooManyAps`] when the request
 /// exceeds the wire caps — nothing is sent for such a request.
 pub fn encode_request(req: &ScanRequest) -> Result<Vec<u8>, WireError> {
+    encode_request_version(req, PROTOCOL_VERSION)
+}
+
+/// Encodes one request as a **v1** frame — what a not-yet-upgraded client
+/// on the old protocol emits. v1 has no deadline field, so the request's
+/// `deadline_us` is omitted (exactly as a real v1 client, which cannot
+/// express one); the compatibility suites use this to pin that an upgraded
+/// server still serves the old fleet.
+///
+/// # Errors
+///
+/// Same cap errors as [`encode_request`].
+pub fn encode_request_v1(req: &ScanRequest) -> Result<Vec<u8>, WireError> {
+    encode_request_version(req, 1)
+}
+
+fn encode_request_version(req: &ScanRequest, version: u8) -> Result<Vec<u8>, WireError> {
     let venue = req.venue.as_bytes();
     if venue.len() > MAX_VENUE_LEN {
         return Err(WireError::VenueTooLong(venue.len()));
@@ -273,9 +335,12 @@ pub fn encode_request(req: &ScanRequest) -> Result<Vec<u8>, WireError> {
     if req.rssi.len() > MAX_AP_COUNT {
         return Err(WireError::TooManyAps(req.rssi.len()));
     }
-    let mut out = Vec::with_capacity(4 + HEADER_LEN + 1 + venue.len() + 2 + 4 * req.rssi.len());
+    let mut out = Vec::with_capacity(4 + HEADER_LEN + 4 + 1 + venue.len() + 2 + 4 * req.rssi.len());
     out.extend_from_slice(&[0; 4]); // length backpatched by seal()
-    push_header(&mut out, KIND_REQUEST, req.request_id);
+    push_header(&mut out, version, KIND_REQUEST, req.request_id);
+    if version >= 2 {
+        out.extend_from_slice(&req.deadline_us.to_le_bytes());
+    }
     out.push(venue.len() as u8);
     out.extend_from_slice(venue);
     out.extend_from_slice(&(req.rssi.len() as u16).to_le_bytes());
@@ -285,12 +350,16 @@ pub fn encode_request(req: &ScanRequest) -> Result<Vec<u8>, WireError> {
     Ok(seal(out))
 }
 
-/// Encodes one response into a ready-to-send frame (length prefix included).
+/// Encodes one response into a ready-to-send frame (length prefix
+/// included). `version` is the protocol version **of the request being
+/// answered** — the server echoes it so a v1 client only ever receives v1
+/// bytes; statuses v1 cannot name ([`WireStatus::Unavailable`]) are
+/// downgraded to [`WireStatus::Internal`] in a v1 response.
 #[must_use]
-pub fn encode_response(resp: &ScanResponse) -> Vec<u8> {
+pub fn encode_response(resp: &ScanResponse, version: u8) -> Vec<u8> {
     let mut out = Vec::with_capacity(4 + HEADER_LEN + 1 + 24);
     out.extend_from_slice(&[0; 4]);
-    push_header(&mut out, KIND_RESPONSE, resp.request_id);
+    push_header(&mut out, version, KIND_RESPONSE, resp.request_id);
     match &resp.result {
         Ok(pos) => {
             out.push(0);
@@ -298,33 +367,50 @@ pub fn encode_response(resp: &ScanResponse) -> Vec<u8> {
             out.extend_from_slice(&pos.y.to_le_bytes());
             out.extend_from_slice(&pos.model_version.to_le_bytes());
         }
-        Err(status) => out.push(*status as u8),
+        Err(status) => {
+            let status = if version < 2 {
+                match status {
+                    // A v1 request cannot carry a deadline, so this arm is
+                    // effectively Unavailable-only; both downgrade rather
+                    // than ship a byte the old decoder rejects.
+                    WireStatus::DeadlineExceeded | WireStatus::Unavailable => WireStatus::Internal,
+                    s => *s,
+                }
+            } else {
+                *status
+            };
+            out.push(status as u8);
+        }
     }
     seal(out)
 }
 
-/// Validates version + kind and returns the request id.
-fn decode_header(c: &mut Cursor<'_>, want_kind: u8) -> Result<u64, WireError> {
+/// Validates version + kind; returns the version and request id.
+fn decode_header(c: &mut Cursor<'_>, want_kind: u8) -> Result<(u8, u64), WireError> {
     let version = c.u8()?;
-    if version != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
         return Err(WireError::BadVersion(version));
     }
     let kind = c.u8()?;
     if kind != want_kind {
         return Err(WireError::BadKind(kind));
     }
-    c.u64()
+    Ok((version, c.u64()?))
 }
 
 /// Decodes one request payload (the bytes *after* the length prefix).
+/// Accepts every supported protocol version; a v1 payload (no deadline
+/// field) decodes with `deadline_us == 0`. The returned version is what
+/// [`encode_response`] must echo when answering.
 ///
 /// # Errors
 ///
 /// A [`WireError`] describing the first malformation found; hostile input
 /// never panics and never allocates beyond the [`MAX_AP_COUNT`] cap.
-pub fn decode_request(payload: &[u8]) -> Result<ScanRequest, WireError> {
+pub fn decode_request(payload: &[u8]) -> Result<(ScanRequest, u8), WireError> {
     let mut c = Cursor { bytes: payload };
-    let request_id = decode_header(&mut c, KIND_REQUEST)?;
+    let (version, request_id) = decode_header(&mut c, KIND_REQUEST)?;
+    let deadline_us = if version >= 2 { c.u32()? } else { 0 };
     let venue_len = c.u8()? as usize;
     let venue =
         std::str::from_utf8(c.take(venue_len)?).map_err(|_| WireError::BadVenueUtf8)?.to_string();
@@ -340,17 +426,19 @@ pub fn decode_request(payload: &[u8]) -> Result<ScanRequest, WireError> {
         rssi.push(c.f32()?);
     }
     c.finish()?;
-    Ok(ScanRequest { request_id, venue, rssi })
+    Ok((ScanRequest { request_id, venue, rssi, deadline_us }, version))
 }
 
 /// Decodes one response payload (the bytes *after* the length prefix).
+/// Accepts every supported protocol version (the response layout is
+/// identical in v1 and v2; only the status space grew).
 ///
 /// # Errors
 ///
 /// A [`WireError`] describing the first malformation found.
 pub fn decode_response(payload: &[u8]) -> Result<ScanResponse, WireError> {
     let mut c = Cursor { bytes: payload };
-    let request_id = decode_header(&mut c, KIND_RESPONSE)?;
+    let (_version, request_id) = decode_header(&mut c, KIND_RESPONSE)?;
     let status = c.u8()?;
     let result = if status == 0 {
         Ok(WirePosition { x: c.f64()?, y: c.f64()?, model_version: c.u64()? })
@@ -432,18 +520,33 @@ mod tests {
             request_id: 42,
             venue: "office-east".into(),
             rssi: vec![-60.0, -100.0, f32::NAN, 0.0, -71.5],
+            deadline_us: 2_500,
         }
     }
 
     #[test]
     fn request_roundtrip_is_bit_exact() {
         let frame = encode_request(&req()).unwrap();
-        let got = decode_request(&frame[4..]).unwrap();
+        let (got, version) = decode_request(&frame[4..]).unwrap();
+        assert_eq!(version, PROTOCOL_VERSION);
         assert_eq!(got.request_id, 42);
         assert_eq!(got.venue, "office-east");
+        assert_eq!(got.deadline_us, 2_500);
         // NaN-safe bit comparison.
         let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&got.rssi), bits(&req().rssi));
+    }
+
+    #[test]
+    fn legacy_v1_requests_still_decode_without_a_deadline() {
+        let frame = encode_request_v1(&req()).unwrap();
+        assert_eq!(frame[4], 1, "v1 frame carries version byte 1");
+        let (got, version) = decode_request(&frame[4..]).unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(got.venue, "office-east");
+        assert_eq!(got.deadline_us, 0, "v1 has no deadline field");
+        // The v1 frame is exactly 4 bytes shorter: the missing deadline.
+        assert_eq!(frame.len() + 4, encode_request(&req()).unwrap().len());
     }
 
     #[test]
@@ -454,21 +557,38 @@ mod tests {
         };
         let err = ScanResponse { request_id: 8, result: Err(WireStatus::Shed) };
         for resp in [&ok, &err] {
-            let frame = encode_response(resp);
-            assert_eq!(&decode_response(&frame[4..]).unwrap(), resp);
+            for version in [1, PROTOCOL_VERSION] {
+                let frame = encode_response(resp, version);
+                assert_eq!(frame[4], version);
+                assert_eq!(&decode_response(&frame[4..]).unwrap(), resp);
+            }
+        }
+    }
+
+    #[test]
+    fn v2_only_statuses_downgrade_in_v1_responses() {
+        for status in [WireStatus::Unavailable, WireStatus::DeadlineExceeded] {
+            let resp = ScanResponse { request_id: 3, result: Err(status) };
+            let v1 = decode_response(&encode_response(&resp, 1)[4..]).unwrap();
+            assert_eq!(v1.result, Err(WireStatus::Internal), "{status:?} must downgrade in v1");
+            let v2 = decode_response(&encode_response(&resp, 2)[4..]).unwrap();
+            assert_eq!(v2.result, Err(status));
         }
     }
 
     #[test]
     fn caps_reject_before_allocation() {
-        let huge = ScanRequest { request_id: 1, venue: "v".into(), rssi: vec![0.0; 3000] };
+        let huge =
+            ScanRequest { request_id: 1, venue: "v".into(), rssi: vec![0.0; 3000], deadline_us: 0 };
         assert_eq!(encode_request(&huge).unwrap_err(), WireError::TooManyAps(3000));
-        let long = ScanRequest { request_id: 1, venue: "v".repeat(300), rssi: vec![] };
+        let long =
+            ScanRequest { request_id: 1, venue: "v".repeat(300), rssi: vec![], deadline_us: 0 };
         assert_eq!(encode_request(&long).unwrap_err(), WireError::VenueTooLong(300));
 
         // A forged payload declaring more APs than the cap.
         let mut payload = Vec::new();
-        push_header(&mut payload, KIND_REQUEST, 1);
+        push_header(&mut payload, PROTOCOL_VERSION, KIND_REQUEST, 1);
+        payload.extend_from_slice(&0u32.to_le_bytes()); // no deadline
         payload.push(0); // empty venue
         payload.extend_from_slice(&u16::MAX.to_le_bytes());
         assert_eq!(decode_request(&payload).unwrap_err(), WireError::TooManyAps(65535));
@@ -484,7 +604,7 @@ mod tests {
         }
         fb.push_bytes(&frame[frame.len() - 1..]);
         let payload = fb.next_payload().unwrap().unwrap();
-        assert_eq!(decode_request(&payload).unwrap().venue, "office-east");
+        assert_eq!(decode_request(&payload).unwrap().0.venue, "office-east");
         assert_eq!(fb.pending_bytes(), 0);
     }
 

@@ -27,6 +27,14 @@
 //! bytes, sending garbage — affects only itself: the worst it gets is a
 //! [`WireStatus::Malformed`] goodbye and a close, while every other
 //! connection keeps being served (`tests/fault_injection.rs` pins this).
+//!
+//! Since PR 9 the wire carries the resilience contract end to end: protocol
+//! v2 requests hold a **deadline budget** (expired requests answer
+//! [`WireStatus::DeadlineExceeded`] without touching the model), servers
+//! answer v1 clients in v1 (see [`PROTOCOL_VERSION`] for the compatibility
+//! story), and [`NetClient`] can carry a [`RetryPolicy`] that retries only
+//! transient failures — sheds, a draining server, broken connections
+//! (reconnecting first) — with deterministic jittered backoff.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,9 +44,9 @@ pub mod codec;
 mod client;
 mod server;
 
-pub use client::{ClientError, NetClient};
+pub use client::{ClientError, NetClient, RetryPolicy};
 pub use codec::{
     ScanRequest, ScanResponse, WireError, WirePosition, WireStatus, MAX_AP_COUNT, MAX_FRAME_LEN,
-    MAX_VENUE_LEN, PROTOCOL_VERSION,
+    MAX_VENUE_LEN, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 pub use server::{NetServer, NetStatsSnapshot};

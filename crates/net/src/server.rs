@@ -109,7 +109,7 @@ impl Conn {
 /// let registry = Arc::new(ModelRegistry::new());
 /// registry.publish("office", StoneBuilder::quick().fit(&suite.train, 1));
 ///
-/// let server = NetServer::start(registry, "127.0.0.1:0", ServerConfig::default()).unwrap();
+/// let mut server = NetServer::start(registry, "127.0.0.1:0", ServerConfig::default()).unwrap();
 /// let mut client = NetClient::connect(server.local_addr()).unwrap();
 /// let pos = client.locate("office", &suite.train.records()[0].rssi).unwrap();
 /// println!("located at ({}, {}) by model v{}", pos.x, pos.y, pos.model_version);
@@ -214,7 +214,10 @@ impl NetServer {
     /// Returns the final wire-level counters — the only way to observe
     /// `connections_closed` at its settled value, since every writer has
     /// exited by the time this returns.
-    pub fn shutdown(mut self) -> NetStatsSnapshot {
+    ///
+    /// Idempotent: a second call is a no-op that returns the same settled
+    /// ledger (nothing moves the counters once every thread has exited).
+    pub fn shutdown(&mut self) -> NetStatsSnapshot {
         self.shutdown_inner();
         self.shared.stats.snapshot()
     }
@@ -227,7 +230,8 @@ impl NetServer {
         drop(TcpStream::connect(self.addr));
         let _ = accept.join();
 
-        let mut conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns lock"));
+        let mut conns =
+            std::mem::take(&mut *self.shared.conns.lock().unwrap_or_else(|e| e.into_inner()));
         for conn in &conns {
             let _ = conn.stream.shutdown(Shutdown::Read);
         }
@@ -242,7 +246,7 @@ impl NetServer {
         }
         // Drains the bounded queue: every accepted request is *answered*
         // (callbacks fire, enqueueing response frames on the writers).
-        if let Some(server) = self.server.take() {
+        if let Some(mut server) = self.server.take() {
             server.shutdown();
         }
         // With all callback senders consumed and the readers gone, each
@@ -276,7 +280,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<NetShared>) {
         }
         let Ok(stream) = stream else { continue };
         shared.stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
-        let mut conns = shared.conns.lock().expect("conns lock");
+        let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
         // Reap connections whose threads already finished so a long-lived
         // server's list tracks live connections, not history.
         conns.retain(|c| !c.is_finished());
@@ -288,7 +292,9 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<NetShared>) {
 fn spawn_connection(stream: TcpStream, shared: &Arc<NetShared>) -> Conn {
     // Response frames are small and latency-sensitive; never Nagle them.
     let _ = stream.set_nodelay(true);
-    let (tx, rx) = mpsc::channel::<ScanResponse>();
+    // Each queued response carries the protocol version of the request it
+    // answers: the writer echoes it so a v1 client only receives v1 frames.
+    let (tx, rx) = mpsc::channel::<(u8, ScanResponse)>();
     let reader = {
         let stream = stream.try_clone().expect("clone stream");
         let shared = Arc::clone(shared);
@@ -312,7 +318,7 @@ fn spawn_connection(stream: TcpStream, shared: &Arc<NetShared>) -> Conn {
 /// Exits on EOF, read error, or an unparseable frame (after queueing a
 /// [`WireStatus::Malformed`] goodbye — framing errors are not recoverable
 /// in-stream).
-fn reader_loop(stream: TcpStream, shared: &Arc<NetShared>, tx: &Sender<ScanResponse>) {
+fn reader_loop(stream: TcpStream, shared: &Arc<NetShared>, tx: &Sender<(u8, ScanResponse)>) {
     let mut reader = BufReader::new(stream);
     loop {
         let mut len_buf = [0u8; 4];
@@ -331,8 +337,8 @@ fn reader_loop(stream: TcpStream, shared: &Arc<NetShared>, tx: &Sender<ScanRespo
         if reader.read_exact(&mut payload).is_err() {
             return; // truncated mid-frame: peer gone
         }
-        let req = match decode_request(&payload) {
-            Ok(req) => req,
+        let (req, version) = match decode_request(&payload) {
+            Ok(decoded) => decoded,
             Err(_) => {
                 goodbye(shared, tx);
                 return;
@@ -342,24 +348,33 @@ fn reader_loop(stream: TcpStream, shared: &Arc<NetShared>, tx: &Sender<ScanRespo
         let reply_tx = tx.clone();
         let reply_shared = Arc::clone(shared);
         let request_id = req.request_id;
-        let submitted = shared.handle.try_submit_with(&req.venue, &req.rssi, move |result| {
-            let result = match result {
-                Ok(resp) => Ok(WirePosition {
-                    x: resp.position.x,
-                    y: resp.position.y,
-                    model_version: resp.model_version,
-                }),
-                Err(e) => {
-                    let status = WireStatus::from(&e);
-                    if status == WireStatus::Shed {
-                        reply_shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+        // The deadline budget counts from decode time (the server cannot
+        // know the client's send instant); 0 on the wire means none.
+        let deadline = (req.deadline_us > 0)
+            .then(|| std::time::Duration::from_micros(u64::from(req.deadline_us)));
+        let submitted = shared.handle.try_submit_with_deadline(
+            &req.venue,
+            &req.rssi,
+            deadline,
+            move |result| {
+                let result = match result {
+                    Ok(resp) => Ok(WirePosition {
+                        x: resp.position.x,
+                        y: resp.position.y,
+                        model_version: resp.model_version,
+                    }),
+                    Err(e) => {
+                        let status = WireStatus::from(&e);
+                        if status == WireStatus::Shed {
+                            reply_shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(status)
                     }
-                    Err(status)
-                }
-            };
-            // The writer being gone (peer vanished) is not an error.
-            drop(reply_tx.send(ScanResponse { request_id, result }));
-        });
+                };
+                // The writer being gone (peer vanished) is not an error.
+                drop(reply_tx.send((version, ScanResponse { request_id, result })));
+            },
+        );
         // QueueFull was already answered through the callback (that is the
         // wire-visible shed); only a draining server ends the read loop.
         if matches!(submitted, Err(stone_serve::ServeError::ShuttingDown)) {
@@ -369,20 +384,25 @@ fn reader_loop(stream: TcpStream, shared: &Arc<NetShared>, tx: &Sender<ScanRespo
 }
 
 /// Queues the request-id-0 Malformed goodbye that precedes closing a
-/// desynchronized connection.
-fn goodbye(shared: &NetShared, tx: &Sender<ScanResponse>) {
+/// desynchronized connection. Encoded as the oldest supported protocol
+/// version: a frame that failed to decode carries no trustworthy version
+/// byte, and every client version can parse a v1 response.
+fn goodbye(shared: &NetShared, tx: &Sender<(u8, ScanResponse)>) {
     shared.stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
-    drop(tx.send(ScanResponse { request_id: 0, result: Err(WireStatus::Malformed) }));
+    drop(tx.send((
+        crate::codec::MIN_PROTOCOL_VERSION,
+        ScanResponse { request_id: 0, result: Err(WireStatus::Malformed) },
+    )));
 }
 
 /// Writes response frames in the order answers arrive (completion order),
 /// flushing whenever the channel runs momentarily dry so latency never
 /// waits on the buffer filling up.
-fn writer_loop(stream: TcpStream, shared: &Arc<NetShared>, rx: &Receiver<ScanResponse>) {
+fn writer_loop(stream: TcpStream, shared: &Arc<NetShared>, rx: &Receiver<(u8, ScanResponse)>) {
     let half_close = stream.try_clone();
     let mut writer = BufWriter::new(stream);
     loop {
-        let resp = match rx.try_recv() {
+        let (version, resp) = match rx.try_recv() {
             Ok(resp) => resp,
             Err(TryRecvError::Empty) => {
                 if writer.flush().is_err() {
@@ -395,7 +415,7 @@ fn writer_loop(stream: TcpStream, shared: &Arc<NetShared>, rx: &Receiver<ScanRes
             }
             Err(TryRecvError::Disconnected) => break,
         };
-        if writer.write_all(&encode_response(&resp)).is_err() {
+        if writer.write_all(&encode_response(&resp, version)).is_err() {
             break; // peer gone; pending callbacks tolerate the dead channel
         }
         shared.stats.responses_written.fetch_add(1, Ordering::Relaxed);

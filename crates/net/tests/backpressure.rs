@@ -32,7 +32,7 @@ fn overflow_is_shed_on_the_wire_and_ledgers_agree() {
             ..ServerConfig::default()
         },
     );
-    let server = NetServer::start_with(inner, "127.0.0.1:0").expect("bind ephemeral port");
+    let mut server = NetServer::start_with(inner, "127.0.0.1:0").expect("bind ephemeral port");
 
     let mut client = NetClient::connect(server.local_addr()).expect("connect");
     client.set_read_timeout(Some(Duration::from_secs(20))).expect("read timeout");

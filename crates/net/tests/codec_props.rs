@@ -7,7 +7,10 @@ use proptest::prelude::*;
 use stone_net::codec::{
     decode_request, decode_response, encode_request, encode_response, FrameBuffer,
 };
-use stone_net::{ScanRequest, ScanResponse, WireError, WirePosition, WireStatus, MAX_FRAME_LEN};
+use stone_net::{
+    ScanRequest, ScanResponse, WireError, WirePosition, WireStatus, MAX_FRAME_LEN,
+    MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+};
 
 /// Arbitrary request ids, venue names (0..=24 lowercase chars) and RSSI
 /// vectors drawn from the *full* `f32` bit space — NaNs, infinities,
@@ -20,7 +23,7 @@ fn request_strategy() -> impl Strategy<Value = ScanRequest> {
             (0..venue_len).map(|_| char::from(b'a' + (rng.next() % 26) as u8)).collect();
         let ap_count = (rng.next() % 65) as usize;
         let rssi: Vec<f32> = (0..ap_count).map(|_| f32::from_bits(rng.next())).collect();
-        ScanRequest { request_id: rng.next_u64(), venue, rssi }
+        ScanRequest { request_id: rng.next_u64(), deadline_us: rng.next(), venue, rssi }
     })
 }
 
@@ -50,7 +53,7 @@ fn bits(v: &[f32]) -> Vec<u32> {
     v.iter().map(|x| x.to_bits()).collect()
 }
 
-const STATUSES: [WireStatus; 7] = [
+const STATUSES: [WireStatus; 9] = [
     WireStatus::Shed,
     WireStatus::UnknownVenue,
     WireStatus::DimensionMismatch,
@@ -58,6 +61,8 @@ const STATUSES: [WireStatus; 7] = [
     WireStatus::ShuttingDown,
     WireStatus::Malformed,
     WireStatus::Internal,
+    WireStatus::DeadlineExceeded,
+    WireStatus::Unavailable,
 ];
 
 proptest! {
@@ -66,8 +71,10 @@ proptest! {
     #[test]
     fn request_roundtrip_is_bit_exact(req in request_strategy()) {
         let frame = encode_request(&req).expect("within caps by construction");
-        let got = decode_request(&frame[4..]).expect("own encoding decodes");
+        let (got, version) = decode_request(&frame[4..]).expect("own encoding decodes");
+        prop_assert_eq!(version, PROTOCOL_VERSION);
         prop_assert_eq!(got.request_id, req.request_id);
+        prop_assert_eq!(got.deadline_us, req.deadline_us);
         prop_assert_eq!(&got.venue, &req.venue);
         prop_assert_eq!(bits(&got.rssi), bits(&req.rssi));
     }
@@ -82,10 +89,10 @@ proptest! {
                 model_version: rng.next_u64(),
             })
         } else {
-            Err(STATUSES[(rng.next() % 7) as usize])
+            Err(STATUSES[(rng.next() % 9) as usize])
         };
         let resp = ScanResponse { request_id: rng.next_u64(), result };
-        let frame = encode_response(&resp);
+        let frame = encode_response(&resp, PROTOCOL_VERSION);
         let got = decode_response(&frame[4..]).expect("own encoding decodes");
         prop_assert_eq!(got.request_id, resp.request_id);
         match (got.result, resp.result) {
@@ -139,10 +146,10 @@ proptest! {
         // byte per read) yields the same payload sequence.
         let mut rng = sample_rng(seed);
         let mut stream = encode_request(&req).expect("within caps");
-        stream.extend_from_slice(&encode_response(&ScanResponse {
-            request_id: req.request_id,
-            result: Err(WireStatus::Shed),
-        }));
+        stream.extend_from_slice(&encode_response(
+            &ScanResponse { request_id: req.request_id, result: Err(WireStatus::Shed) },
+            PROTOCOL_VERSION,
+        ));
         let mut fb = FrameBuffer::new();
         let mut payloads = Vec::new();
         let mut rest = &stream[..];
@@ -156,7 +163,7 @@ proptest! {
             }
         }
         prop_assert_eq!(payloads.len(), 2);
-        let got = decode_request(&payloads[0]).expect("request arrives intact");
+        let (got, _) = decode_request(&payloads[0]).expect("request arrives intact");
         prop_assert_eq!(bits(&got.rssi), bits(&req.rssi));
         prop_assert_eq!(
             decode_response(&payloads[1]).expect("response arrives intact").result,
@@ -168,16 +175,20 @@ proptest! {
     #[test]
     fn corrupted_header_bytes_are_rejected(req in request_strategy(), tweak in any::<u32>()) {
         let mut frame = encode_request(&req).expect("within caps");
-        // Corrupt the version byte to anything else.
+        // Corrupt the version byte to anything *outside* the accepted
+        // [MIN_PROTOCOL_VERSION, PROTOCOL_VERSION] range.
         let bad_version = {
             let mut v = (tweak & 0xff) as u8;
-            if v == frame[4] {
-                v = v.wrapping_add(1);
+            while (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&v) {
+                v = v.wrapping_add(3);
             }
             v
         };
         frame[4] = bad_version;
-        prop_assert_eq!(decode_request(&frame[4..]), Err(WireError::BadVersion(bad_version)));
+        prop_assert_eq!(
+            decode_request(&frame[4..]).map(|_| ()),
+            Err(WireError::BadVersion(bad_version))
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn faulty_connections_only_hurt_themselves() {
         .collect();
     assert_eq!(scans.len(), 8, "suite too small for the scenario");
 
-    let server = NetServer::start(
+    let mut server = NetServer::start(
         registry,
         "127.0.0.1:0",
         ServerConfig { queue_capacity: 64, workers: 1, ..ServerConfig::default() },
@@ -88,6 +88,7 @@ fn faulty_connections_only_hurt_themselves() {
     {
         let frame = encode_request(&ScanRequest {
             request_id: 99,
+            deadline_us: 0,
             venue: "office".into(),
             rssi: scans[0].clone(),
         })

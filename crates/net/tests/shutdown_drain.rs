@@ -64,7 +64,7 @@ fn drain_cycle(registry: &std::sync::Arc<stone_serve::ModelRegistry>, scan: &[f3
             ..ServerConfig::default()
         },
     );
-    let server = NetServer::start_with(inner, "127.0.0.1:0").expect("bind ephemeral port");
+    let mut server = NetServer::start_with(inner, "127.0.0.1:0").expect("bind ephemeral port");
     let addr = server.local_addr();
 
     let mut client = NetClient::connect(addr).expect("connect");

@@ -1,0 +1,206 @@
+//! Per-venue circuit breakers over the batch-execution path.
+//!
+//! A batch whose model call panics is isolated (`catch_unwind` in
+//! `scheduler.rs`) and answered with [`crate::ServeError::Internal`] — but
+//! a *persistently* broken model (a bad publish) would then burn an
+//! executor on every drain, panicking batch after batch while queued
+//! requests pile up behind the doomed venue. The breaker turns that into a
+//! bounded blast radius:
+//!
+//! ```text
+//!            K consecutive batch failures
+//!   Closed ────────────────────────────────▶ Open
+//!     ▲                                       │ cooldown elapses
+//!     │ probe batch succeeds                  ▼
+//!     └─────────────────────────────────── HalfOpen
+//!                 (a probe failure reopens: HalfOpen ──▶ Open)
+//! ```
+//!
+//! * **Closed** — batches execute normally; a success resets the
+//!   consecutive-failure count.
+//! * **Open** — every batch for the venue **fast-fails** with
+//!   [`crate::ServeError::VenueUnavailable`], without touching the model,
+//!   until the cooldown elapses. The trip also triggers the registry's
+//!   last-good rollback (see `scheduler.rs`), so by the time the breaker
+//!   re-probes, the venue is usually serving its previous snapshot.
+//! * **HalfOpen** — batches execute as *probes*: the first success closes
+//!   the breaker, the first failure reopens it for another cooldown.
+//!
+//! The state machine is per venue behind a tiny mutex taken once per
+//! *batch* (never per request), so it costs nothing on the request hot
+//! path. A threshold of 0 disables the breaker entirely.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// What the breaker decided for the batch about to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admit {
+    /// Run the batch. `probe` marks a half-open trial whose outcome decides
+    /// whether the breaker re-closes or re-opens.
+    Execute {
+        /// True when this batch is a half-open probe.
+        probe: bool,
+    },
+    /// The breaker is open: fail the whole batch without touching the
+    /// model.
+    FastFail,
+}
+
+#[derive(Debug)]
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { until: Instant },
+    HalfOpen,
+}
+
+/// The per-venue breaker map of one server.
+#[derive(Debug)]
+pub(crate) struct BreakerSet {
+    /// Consecutive batch failures that trip a closed breaker; 0 disables.
+    threshold: u32,
+    /// How long an open breaker fast-fails before probing again.
+    cooldown: Duration,
+    venues: RwLock<HashMap<String, Arc<Mutex<State>>>>,
+}
+
+impl BreakerSet {
+    pub(crate) fn new(threshold: u32, cooldown: Duration) -> Self {
+        Self { threshold, cooldown, venues: RwLock::new(HashMap::new()) }
+    }
+
+    /// The venue's breaker cell, created Closed on first touch.
+    fn slot(&self, venue: &str) -> Arc<Mutex<State>> {
+        if let Some(s) = self.venues.read().unwrap_or_else(|e| e.into_inner()).get(venue) {
+            return Arc::clone(s);
+        }
+        let mut venues = self.venues.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            venues
+                .entry(venue.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(State::Closed { consecutive_failures: 0 }))),
+        )
+    }
+
+    /// Gate for one batch about to execute for `venue`.
+    pub(crate) fn admit(&self, venue: &str) -> Admit {
+        if self.threshold == 0 {
+            return Admit::Execute { probe: false };
+        }
+        let slot = self.slot(venue);
+        let mut state = slot.lock().unwrap_or_else(|e| e.into_inner());
+        match *state {
+            State::Closed { .. } => Admit::Execute { probe: false },
+            State::Open { until } => {
+                if Instant::now() >= until {
+                    *state = State::HalfOpen;
+                    Admit::Execute { probe: true }
+                } else {
+                    Admit::FastFail
+                }
+            }
+            State::HalfOpen => Admit::Execute { probe: true },
+        }
+    }
+
+    /// Records a batch whose model call completed without panicking.
+    pub(crate) fn record_success(&self, venue: &str) {
+        if self.threshold == 0 {
+            return;
+        }
+        let slot = self.slot(venue);
+        let mut state = slot.lock().unwrap_or_else(|e| e.into_inner());
+        *state = State::Closed { consecutive_failures: 0 };
+    }
+
+    /// Records a panicked batch; returns `true` when this failure
+    /// transitioned the breaker to Open (the moment the scheduler rolls the
+    /// venue back to its last-good model).
+    pub(crate) fn record_failure(&self, venue: &str) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        let slot = self.slot(venue);
+        let mut state = slot.lock().unwrap_or_else(|e| e.into_inner());
+        match *state {
+            State::Closed { consecutive_failures } => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.threshold {
+                    *state = State::Open { until: Instant::now() + self.cooldown };
+                    true
+                } else {
+                    *state = State::Closed { consecutive_failures: failures };
+                    false
+                }
+            }
+            // A failed probe reopens for another full cooldown.
+            State::HalfOpen => {
+                *state = State::Open { until: Instant::now() + self.cooldown };
+                true
+            }
+            // Fast-failed batches never reach record_failure; a failure
+            // while already Open (racing executors) just restarts the
+            // cooldown without counting as a fresh trip.
+            State::Open { .. } => {
+                *state = State::Open { until: Instant::now() + self.cooldown };
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_and_recovers_through_half_open() {
+        let set = BreakerSet::new(2, Duration::from_millis(20));
+        assert_eq!(set.admit("v"), Admit::Execute { probe: false });
+        assert!(!set.record_failure("v"), "first failure must not trip");
+        assert_eq!(set.admit("v"), Admit::Execute { probe: false });
+        assert!(set.record_failure("v"), "second failure trips");
+        assert_eq!(set.admit("v"), Admit::FastFail);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(set.admit("v"), Admit::Execute { probe: true });
+        set.record_success("v");
+        assert_eq!(set.admit("v"), Admit::Execute { probe: false });
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let set = BreakerSet::new(1, Duration::from_millis(15));
+        assert!(set.record_failure("v"));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(set.admit("v"), Admit::Execute { probe: true });
+        assert!(set.record_failure("v"), "failed probe re-trips");
+        assert_eq!(set.admit("v"), Admit::FastFail);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let set = BreakerSet::new(2, Duration::from_millis(10));
+        assert!(!set.record_failure("v"));
+        set.record_success("v");
+        assert!(!set.record_failure("v"), "count restarted after a success");
+        assert!(set.record_failure("v"));
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_breaker() {
+        let set = BreakerSet::new(0, Duration::from_millis(10));
+        for _ in 0..10 {
+            assert!(!set.record_failure("v"));
+        }
+        assert_eq!(set.admit("v"), Admit::Execute { probe: false });
+    }
+
+    #[test]
+    fn breakers_are_per_venue() {
+        let set = BreakerSet::new(1, Duration::from_secs(60));
+        assert!(set.record_failure("bad"));
+        assert_eq!(set.admit("bad"), Admit::FastFail);
+        assert_eq!(set.admit("good"), Admit::Execute { probe: false });
+    }
+}

@@ -32,6 +32,20 @@
 //!   aggregate and broken down per venue ([`VenueStatsSnapshot`], which
 //!   also splits shed-by-global-capacity from shed-by-venue-cap).
 //!
+//! # Resilience
+//!
+//! Failure is contained per layer (DESIGN.md, "Failure modes & degradation
+//! ladder"): a request may carry a **deadline** budget — expired requests
+//! are dropped at batch-collect time with [`ServeError::DeadlineExceeded`],
+//! never reaching the model; a panicking model call is **isolated** to its
+//! own batch ([`ServeError::Internal`], executor survives); consecutive
+//! panics trip a per-venue **circuit breaker** that fast-fails the venue
+//! ([`ServeError::VenueUnavailable`]) and rolls it back to the registry's
+//! retained **last-good** snapshot ([`ModelRegistry::rollback`]); model
+//! blobs are checksummed so a corrupt publish is rejected before it can
+//! serve. Deterministic fault injection for all of this lives behind
+//! [`ChaosConfig`] / the `STONE_CHAOS` env var.
+//!
 //! # Determinism
 //!
 //! Batching never changes answers: every response is bitwise identical to
@@ -53,7 +67,7 @@
 //! let registry = Arc::new(ModelRegistry::new());
 //! registry.publish("office", StoneBuilder::quick().fit(&suite.train, 1));
 //!
-//! let server = LocalizationServer::start(Arc::clone(&registry), ServerConfig::default());
+//! let mut server = LocalizationServer::start(Arc::clone(&registry), ServerConfig::default());
 //! let handle = server.handle();
 //!
 //! // Clients submit single scans from any number of threads...
@@ -69,12 +83,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod breaker;
+mod chaos;
 mod queue;
 mod registry;
 mod scheduler;
 mod server;
 mod stats;
 
+pub use chaos::{corrupt_blob, ChaosConfig, ChaosFault, ChaosRule};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use server::{
     LocalizationServer, LocateResponse, PendingLocate, ServeError, ServerConfig, ServerHandle,
@@ -114,7 +131,7 @@ mod tests {
         let suite = office_suite(&SuiteConfig::tiny(1));
         let registry = Arc::new(ModelRegistry::new());
         registry.publish("office", tiny_localizer(1));
-        let server = LocalizationServer::start(Arc::clone(&registry), quick_config());
+        let mut server = LocalizationServer::start(Arc::clone(&registry), quick_config());
         let handle = server.handle();
         let snapshot = registry.snapshot("office").unwrap();
         for r in suite.train.records().iter().take(8) {
@@ -132,7 +149,7 @@ mod tests {
     fn unknown_venue_and_bad_scan_fail_per_request() {
         let registry = Arc::new(ModelRegistry::new());
         registry.publish("office", tiny_localizer(2));
-        let server = LocalizationServer::start(Arc::clone(&registry), quick_config());
+        let mut server = LocalizationServer::start(Arc::clone(&registry), quick_config());
         let handle = server.handle();
         assert_eq!(
             handle.locate("warehouse", &[0.0; 4]).unwrap_err(),
@@ -153,8 +170,10 @@ mod tests {
     fn shutdown_rejects_new_requests_and_joins() {
         let registry = Arc::new(ModelRegistry::new());
         registry.publish("office", tiny_localizer(3));
-        let server = LocalizationServer::start(registry, quick_config());
+        let mut server = LocalizationServer::start(registry, quick_config());
         let handle = server.handle();
+        server.shutdown();
+        // Idempotent: a second shutdown is a no-op, not a hang or a panic.
         server.shutdown();
         assert_eq!(handle.locate("office", &[0.0; 4]).unwrap_err(), ServeError::ShuttingDown);
     }

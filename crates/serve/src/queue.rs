@@ -84,6 +84,11 @@ pub(crate) struct Request {
     pub(crate) venue: String,
     pub(crate) rssi: Vec<f32>,
     pub(crate) enqueued: Instant,
+    /// Answer-by instant, stamped at submit from the client's deadline
+    /// budget. A request still queued past this instant is dropped at
+    /// [`ShardedQueue::collect`] time and answered
+    /// [`ServeError::DeadlineExceeded`] without ever reaching the model.
+    pub(crate) deadline: Option<Instant>,
     pub(crate) reply: Reply,
 }
 
@@ -105,8 +110,14 @@ pub(crate) enum Collected {
     Batch {
         /// The venue every request of this batch targets.
         venue: String,
-        /// The drained requests (1 ..= `max_batch` of them).
+        /// The drained live requests (up to `max_batch` of them; may be
+        /// empty when every drained request had already expired).
         requests: Vec<Request>,
+        /// Requests whose deadline passed while queued: already past
+        /// saving, they are split out at drain time so expired work never
+        /// occupies a batch slot or reaches the model. The executor answers
+        /// each with [`ServeError::DeadlineExceeded`].
+        expired: Vec<Request>,
     },
     /// The queue is closed and fully drained: the executor exits.
     Closed,
@@ -206,7 +217,7 @@ impl ShardedQueue {
     /// Non-blocking push: fails fast when the global capacity or the
     /// venue's cap is exhausted, handing the request back.
     pub(crate) fn try_push(&self, req: Request) -> Result<(), TryPushError> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.closed {
             return Err(TryPushError::Closed(req));
         }
@@ -229,7 +240,7 @@ impl ShardedQueue {
     /// Blocking push: waits for a slot (backpressure). `Err` hands the
     /// request back — the queue closed while waiting (or before).
     pub(crate) fn push(&self, req: Request) -> Result<(), Request> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if inner.closed {
                 return Err(req);
@@ -246,7 +257,7 @@ impl ShardedQueue {
                     return Ok(());
                 }
             }
-            inner = self.space.wait(inner).expect("queue lock");
+            inner = self.space.wait(inner).unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -256,11 +267,16 @@ impl ShardedQueue {
     /// open for same-venue stragglers until its *oldest* request has waited
     /// `max_wait` — so no request's time-to-execution exceeds `max_wait`
     /// plus one batch execution, whatever venue it targets.
+    ///
+    /// Requests whose deadline has already passed are split into the
+    /// batch's `expired` list as they are popped: expired work never
+    /// occupies one of the `max_batch` live slots and never reaches
+    /// `locate_batch`.
     pub(crate) fn collect(&self, max_batch: usize, max_wait: Duration) -> Collected {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let idx = loop {
             if inner.paused && !inner.closed {
-                inner = self.work.wait(inner).expect("queue lock");
+                inner = self.work.wait(inner).unwrap_or_else(|e| e.into_inner());
                 continue;
             }
             if let Some(idx) = inner.pick_victim(max_wait) {
@@ -269,34 +285,45 @@ impl ShardedQueue {
             if inner.closed {
                 return Collected::Closed;
             }
-            inner = self.work.wait(inner).expect("queue lock");
+            inner = self.work.wait(inner).unwrap_or_else(|e| e.into_inner());
         };
 
         inner.cursor = (idx + 1) % inner.shards.len();
         let venue = inner.shards[idx].venue.clone();
         let mut requests = Vec::new();
-        let drain = |inner: &mut Inner, requests: &mut Vec<Request>| {
+        let mut expired = Vec::new();
+        let drain = |inner: &mut Inner, requests: &mut Vec<Request>, expired: &mut Vec<Request>| {
+            let now = Instant::now();
             let mut popped = false;
             while requests.len() < max_batch {
                 let Some(req) = inner.shards[idx].queue.pop_front() else { break };
                 inner.queued -= 1;
-                requests.push(req);
+                if req.deadline.is_some_and(|d| now >= d) {
+                    expired.push(req);
+                } else {
+                    requests.push(req);
+                }
                 popped = true;
             }
             popped
         };
-        if drain(&mut inner, &mut requests) {
+        if drain(&mut inner, &mut requests, &mut expired) {
             self.space.notify_all();
         }
 
         // Straggler window: hold the under-full batch open for *this venue*
         // until its oldest request hits max_wait. Zero by default — adaptive
         // batching alone (whatever piled up during the previous batch) pays
-        // for coalescing without adding latency.
-        if !inner.closed && requests.len() < max_batch && max_wait > Duration::ZERO {
+        // for coalescing without adding latency. Skipped when every drained
+        // request was expired: there is no live request to age against.
+        if !inner.closed
+            && !requests.is_empty()
+            && requests.len() < max_batch
+            && max_wait > Duration::ZERO
+        {
             let deadline = requests[0].enqueued + max_wait;
             loop {
-                if drain(&mut inner, &mut requests) {
+                if drain(&mut inner, &mut requests, &mut expired) {
                     self.space.notify_all();
                 }
                 if requests.len() >= max_batch || inner.closed {
@@ -306,16 +333,19 @@ impl ShardedQueue {
                 if now >= deadline {
                     break;
                 }
-                let (guard, _) = self.work.wait_timeout(inner, deadline - now).expect("queue lock");
+                let (guard, _) = self
+                    .work
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
                 inner = guard;
             }
         }
-        Collected::Batch { venue, requests }
+        Collected::Batch { venue, requests, expired }
     }
 
     /// Unparks executors parked by a paused start. Idempotent.
     pub(crate) fn resume(&self) {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.paused {
             inner.paused = false;
             drop(inner);
@@ -327,7 +357,7 @@ impl ShardedQueue {
     /// with their request handed back, and executors drain what remains
     /// then receive [`Collected::Closed`]. Clears pause — a drain must run.
     pub(crate) fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.closed = true;
         inner.paused = false;
         drop(inner);
@@ -338,7 +368,7 @@ impl ShardedQueue {
 
 impl std::fmt::Debug for ShardedQueue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().expect("queue lock");
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         write!(
             f,
             "ShardedQueue(queued={}, venues={}, capacity={}, venue_capacity={:?})",

@@ -1,4 +1,5 @@
-//! The per-venue model registry with atomic warm reload.
+//! The per-venue model registry with atomic warm reload and last-good
+//! fallback.
 //!
 //! Every venue (building / floorplan) maps to an [`Arc`]-shared
 //! [`ModelEntry`]: an immutable `(version, StoneLocalizer)` snapshot.
@@ -9,6 +10,19 @@
 //! dropped queries**. Every response carries the snapshot's version, so a
 //! client (or a test) can attribute each answer to the exact model that
 //! produced it.
+//!
+//! Since PR 9 each venue also retains its **previous** published snapshot:
+//! when a freshly published model turns out to be broken at serve time (its
+//! batches panic and trip the venue's circuit breaker — see
+//! `scheduler.rs`), [`ModelRegistry::rollback`] restores the last-good
+//! snapshot under its *original* version instead of leaving the venue dark.
+//! Version numbers stay monotonic across a rollback: the next publish after
+//! rolling back v2 → v1 is v3, never a second v2.
+//!
+//! All registry locks recover from poisoning (`PoisonError::into_inner`):
+//! the guarded state is plain values that are never left half-updated, so a
+//! panicking publisher must not cascade into every executor and connection
+//! thread that touches the registry afterwards.
 
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
@@ -44,7 +58,20 @@ impl ModelEntry {
     }
 }
 
-/// A thread-safe venue → model map with atomic publish.
+/// One venue's slot: the serving snapshot, the previous one (rollback
+/// target), and the next version number to hand out.
+#[derive(Debug)]
+struct VenueSlot {
+    current: Arc<ModelEntry>,
+    /// The snapshot `current` replaced, kept as the rollback target until
+    /// the next publish (or a rollback consumes it).
+    last_good: Option<Arc<ModelEntry>>,
+    /// Versions stay monotonic across rollbacks: this counter never rewinds.
+    next_version: u64,
+}
+
+/// A thread-safe venue → model map with atomic publish and last-good
+/// rollback.
 ///
 /// # Example
 ///
@@ -62,10 +89,13 @@ impl ModelEntry {
 /// let v2 = registry.publish("office", StoneBuilder::quick().fit(&suite.train, 2));
 /// assert_eq!(v2, 2);
 /// assert_eq!(registry.snapshot("office").unwrap().version(), 2);
+/// // v2 turns out bad: fall back to the retained v1 snapshot.
+/// assert_eq!(registry.rollback("office"), Some(1));
+/// assert_eq!(registry.snapshot("office").unwrap().version(), 1);
 /// ```
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
-    venues: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    venues: RwLock<HashMap<String, VenueSlot>>,
 }
 
 impl ModelRegistry {
@@ -78,18 +108,25 @@ impl ModelRegistry {
     /// Publishes (or replaces) the venue's model and returns the new
     /// version. The swap is atomic: callers either see the old entry or the
     /// new one, never a mix, and snapshots taken before the swap stay valid
-    /// until their last holder drops them.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the registry lock is poisoned (a publisher panicked).
+    /// until their last holder drops them. The replaced snapshot is
+    /// retained as the venue's [`ModelRegistry::rollback`] target.
     pub fn publish(&self, venue: &str, model: StoneLocalizer) -> u64 {
-        let mut venues = self.venues.write().expect("registry lock");
-        let version = venues.get(venue).map_or(0, |e| e.version) + 1;
-        venues.insert(
-            venue.to_string(),
-            Arc::new(ModelEntry { venue: venue.to_string(), version, model }),
-        );
+        let mut venues = self.venues.write().unwrap_or_else(|e| e.into_inner());
+        let slot = venues.get_mut(venue);
+        let version = slot.as_ref().map_or(1, |s| s.next_version);
+        let entry = Arc::new(ModelEntry { venue: venue.to_string(), version, model });
+        match slot {
+            Some(slot) => {
+                slot.last_good = Some(std::mem::replace(&mut slot.current, entry));
+                slot.next_version = version + 1;
+            }
+            None => {
+                venues.insert(
+                    venue.to_string(),
+                    VenueSlot { current: entry, last_good: None, next_version: version + 1 },
+                );
+            }
+        }
         version
     }
 
@@ -99,54 +136,63 @@ impl ModelRegistry {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelIoError`] when the bytes do not decode; the venue's
+    /// Returns [`ModelIoError`] when the bytes do not decode — including
+    /// [`ModelIoError::ChecksumMismatch`] for a corrupted blob; the venue's
     /// current model (if any) stays published untouched.
     pub fn publish_bytes(&self, venue: &str, bytes: &[u8]) -> Result<u64, ModelIoError> {
         let model = StoneLocalizer::load(bytes)?;
         Ok(self.publish(venue, model))
     }
 
+    /// Restores the venue's previous snapshot under its **original**
+    /// version, returning that version — the degradation path a tripped
+    /// circuit breaker takes instead of leaving the venue dark. Returns
+    /// `None` (and changes nothing) when the venue is unknown or has no
+    /// retained previous snapshot; the rollback target is consumed, so a
+    /// second rollback without an intervening publish is a no-op.
+    pub fn rollback(&self, venue: &str) -> Option<u64> {
+        let mut venues = self.venues.write().unwrap_or_else(|e| e.into_inner());
+        let slot = venues.get_mut(venue)?;
+        let previous = slot.last_good.take()?;
+        let version = previous.version;
+        slot.current = previous;
+        Some(version)
+    }
+
+    /// The version of the venue's retained rollback target, if any.
+    #[must_use]
+    pub fn last_good_version(&self, venue: &str) -> Option<u64> {
+        let venues = self.venues.read().unwrap_or_else(|e| e.into_inner());
+        venues.get(venue)?.last_good.as_ref().map(|e| e.version)
+    }
+
     /// The venue's current model snapshot, or `None` for an unknown venue.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the registry lock is poisoned.
     #[must_use]
     pub fn snapshot(&self, venue: &str) -> Option<Arc<ModelEntry>> {
-        self.venues.read().expect("registry lock").get(venue).cloned()
+        let venues = self.venues.read().unwrap_or_else(|e| e.into_inner());
+        venues.get(venue).map(|s| Arc::clone(&s.current))
     }
 
     /// Unpublishes a venue; returns `true` when it existed. In-flight
-    /// snapshots keep serving until dropped.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the registry lock is poisoned.
+    /// snapshots keep serving until dropped. The whole slot goes — a later
+    /// re-publish starts a fresh version lineage at 1.
     pub fn remove(&self, venue: &str) -> bool {
-        self.venues.write().expect("registry lock").remove(venue).is_some()
+        self.venues.write().unwrap_or_else(|e| e.into_inner()).remove(venue).is_some()
     }
 
     /// Registered venue names, sorted.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the registry lock is poisoned.
     #[must_use]
     pub fn venues(&self) -> Vec<String> {
         let mut v: Vec<String> =
-            self.venues.read().expect("registry lock").keys().cloned().collect();
+            self.venues.read().unwrap_or_else(|e| e.into_inner()).keys().cloned().collect();
         v.sort();
         v
     }
 
     /// Number of registered venues.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the registry lock is poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.venues.read().expect("registry lock").len()
+        self.venues.read().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Returns `true` when no venue is registered.

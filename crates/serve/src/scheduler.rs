@@ -15,9 +15,32 @@
 //! A venue removed from the registry while requests are queued fails those
 //! requests per-request with [`ServeError::UnknownVenue`]; nothing panics
 //! and no ticket hangs.
+//!
+//! # Resilience (PR 9)
+//!
+//! The executor is the server's failure containment point:
+//!
+//! * **Expired requests** (deadline passed while queued) are split out by
+//!   the queue at collect time and answered
+//!   [`ServeError::DeadlineExceeded`] here — they never occupy a batch slot
+//!   and never reach `locate_batch`.
+//! * **The model call runs under `catch_unwind`**: a panicking model (a bad
+//!   publish, a poisoned weight) fails only its own batch's requests with
+//!   [`ServeError::Internal`]; the executor thread survives and keeps
+//!   draining.
+//! * **Consecutive panicked batches trip the venue's circuit breaker**
+//!   ([`crate::ServerConfig::breaker_threshold`]): while open, the venue's
+//!   batches fast-fail with [`ServeError::VenueUnavailable`] without
+//!   touching the model, and the trip rolls the venue back to its
+//!   last-good registry snapshot ([`crate::ModelRegistry::rollback`]) so
+//!   the half-open probe after the cooldown usually lands on a healthy
+//!   model. Other venues never notice.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use stone_radio::Point2;
 
+use crate::breaker::Admit;
 use crate::queue::{Collected, Request, ShardedQueue};
 use crate::registry::ModelRegistry;
 use crate::server::{LocateResponse, ServeError, ServerConfig, Shared};
@@ -33,10 +56,52 @@ pub(crate) fn executor_loop(
     loop {
         match queue.collect(cfg.max_batch, cfg.max_wait) {
             Collected::Closed => return,
-            Collected::Batch { venue, requests } => {
-                execute_batch(registry, shared, &cfg, &venue, requests);
+            Collected::Batch { venue, requests, expired } => {
+                // Last-resort isolation: the model call has its own
+                // catch_unwind below, but nothing anywhere in batch
+                // handling may kill the executor. Requests dropped by a
+                // panic here still answer — the reply channel's drop makes
+                // wait() return ShuttingDown, and a ReplyCallback fires
+                // ShuttingDown from its Drop impl.
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    if !expired.is_empty() {
+                        expire_requests(shared, &venue, expired);
+                    }
+                    if !requests.is_empty() {
+                        execute_batch(registry, shared, &cfg, &venue, requests);
+                    }
+                }));
             }
         }
+    }
+}
+
+/// Answers requests whose deadline passed while they were queued. They are
+/// counted as completions (queue-depth accounting) and as expirations, but
+/// never as a batch — no model was touched.
+fn expire_requests(shared: &Shared, venue: &str, expired: Vec<Request>) {
+    let vstats = shared.stats.venue(venue);
+    for req in expired {
+        let latency = req.enqueued.elapsed();
+        shared.stats.record_expired();
+        vstats.record_expired();
+        shared.stats.record_completed(latency);
+        vstats.record_completed(latency);
+        req.reply.send(Err(ServeError::DeadlineExceeded { venue: venue.to_string() }));
+    }
+}
+
+/// Fast-fails a whole batch because the venue's breaker is open: every
+/// request answers [`ServeError::VenueUnavailable`] without the model being
+/// touched.
+fn fast_fail_batch(shared: &Shared, venue: &str, batch: Vec<Request>) {
+    let vstats = shared.stats.venue(venue);
+    for req in batch {
+        let latency = req.enqueued.elapsed();
+        vstats.record_fast_failed();
+        shared.stats.record_completed(latency);
+        vstats.record_completed(latency);
+        req.reply.send(Err(ServeError::VenueUnavailable { venue: venue.to_string() }));
     }
 }
 
@@ -51,6 +116,13 @@ fn execute_batch(
     venue: &str,
     batch: Vec<Request>,
 ) {
+    // Breaker admission is per *batch*, before any batch accounting: a
+    // fast-failed batch is not a batch the model executed.
+    if shared.breakers.admit(venue) == Admit::FastFail {
+        fast_fail_batch(shared, venue, batch);
+        return;
+    }
+
     let vstats = shared.stats.venue(venue);
     shared.stats.record_batch(batch.len());
     vstats.record_batch(batch.len());
@@ -62,7 +134,8 @@ fn execute_batch(
     match entry {
         // Unknown venue (never published, or removed with requests still
         // queued): every request fails individually — the regression pinned
-        // by tests/scheduler_fairness.rs.
+        // by tests/scheduler_fairness.rs. No model ran, so the breaker
+        // state is left untouched (a half-open probe stays half-open).
         None => {
             for r in &mut results {
                 *r = Some(Err(ServeError::UnknownVenue { venue: venue.to_string() }));
@@ -90,17 +163,50 @@ fn execute_batch(
             }
             if !ok_idx.is_empty() {
                 let scans: Vec<&[f32]> = ok_idx.iter().map(|&i| batch[i].rssi.as_slice()).collect();
-                let positions: Vec<Point2> = if cfg.workers > 1 {
-                    // Several executors may be running batches concurrently:
-                    // each keeps its kernels inline so the machine is not
-                    // oversubscribed (see ServerConfig::workers).
-                    stone_par::inline_scope(|| entry.model().locate_batch(&scans))
-                } else {
-                    entry.model().locate_batch(&scans)
-                };
-                for (&i, position) in ok_idx.iter().zip(positions) {
-                    results[i] =
-                        Some(Ok(LocateResponse { position, model_version: entry.version() }));
+                let version = entry.version();
+                let model = entry.model();
+                // The isolation boundary: a panic in the model call (or an
+                // injected chaos fault, which fires exactly here) fails
+                // only this batch. AssertUnwindSafe is sound — the model
+                // snapshot is immutable and dropped with the batch, and
+                // every mutable capture is written only after a normal
+                // return.
+                let outcome = catch_unwind(AssertUnwindSafe(|| -> Vec<Point2> {
+                    shared.chaos.before_batch(venue, version);
+                    if cfg.workers > 1 {
+                        // Several executors may be running batches
+                        // concurrently: each keeps its kernels inline so
+                        // the machine is not oversubscribed (see
+                        // ServerConfig::workers).
+                        stone_par::inline_scope(|| model.locate_batch(&scans))
+                    } else {
+                        model.locate_batch(&scans)
+                    }
+                }));
+                match outcome {
+                    Ok(positions) => {
+                        shared.breakers.record_success(venue);
+                        for (&i, position) in ok_idx.iter().zip(positions) {
+                            results[i] =
+                                Some(Ok(LocateResponse { position, model_version: version }));
+                        }
+                    }
+                    Err(_) => {
+                        shared.stats.record_panicked_batch();
+                        vstats.record_panicked_batch();
+                        if shared.breakers.record_failure(venue) {
+                            vstats.record_breaker_trip();
+                            // The trip's degradation move: swap the venue
+                            // back to the snapshot the bad publish
+                            // replaced, so the post-cooldown probe lands on
+                            // the last-good model instead of re-panicking.
+                            let _ = registry.rollback(venue);
+                        }
+                        for &i in &ok_idx {
+                            results[i] =
+                                Some(Err(ServeError::Internal { venue: venue.to_string() }));
+                        }
+                    }
                 }
             }
         }

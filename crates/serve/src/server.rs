@@ -22,6 +22,8 @@ use std::time::{Duration, Instant};
 
 use stone_radio::Point2;
 
+use crate::breaker::BreakerSet;
+use crate::chaos::{ChaosConfig, ChaosState};
 use crate::queue::{Reply, ReplyCallback, Request, ShardedQueue, TryPushError};
 use crate::registry::ModelRegistry;
 use crate::scheduler::executor_loop;
@@ -65,6 +67,31 @@ pub enum ServeError {
         /// The venue whose sub-queue is full.
         venue: String,
     },
+    /// The request's deadline expired while it was still queued. The
+    /// scheduler drops expired requests at collect time — they never occupy
+    /// a batch slot or reach the model. Only requests submitted with a
+    /// deadline ([`ServerHandle::submit_deadline`] and friends, or a v2
+    /// wire request with a non-zero budget) can fail this way.
+    DeadlineExceeded {
+        /// The venue the expired request targeted.
+        venue: String,
+    },
+    /// The batch this request was part of panicked inside the model call.
+    /// The panic is isolated — the executor survives and only this batch's
+    /// requests fail — and counts toward the venue's circuit breaker.
+    Internal {
+        /// The venue whose batch panicked.
+        venue: String,
+    },
+    /// The venue's circuit breaker is open: enough consecutive batches
+    /// panicked that the server fast-fails the venue's requests without
+    /// touching the model until the cooldown elapses (and rolls the venue
+    /// back to its last-good model, when one is retained). Other venues are
+    /// unaffected. Retryable after the breaker's cooldown.
+    VenueUnavailable {
+        /// The venue whose breaker is open.
+        venue: String,
+    },
     /// The server is shutting down (or already gone).
     ShuttingDown,
 }
@@ -82,6 +109,15 @@ impl std::fmt::Display for ServeError {
             ServeError::QueueFull => write!(f, "request queue full"),
             ServeError::VenueQueueFull { venue } => {
                 write!(f, "request sub-queue for {venue:?} full")
+            }
+            ServeError::DeadlineExceeded { venue } => {
+                write!(f, "request for {venue:?} expired in queue before execution")
+            }
+            ServeError::Internal { venue } => {
+                write!(f, "batch for {venue:?} failed internally (isolated panic)")
+            }
+            ServeError::VenueUnavailable { venue } => {
+                write!(f, "circuit breaker open for {venue:?}; retry after cooldown")
             }
             ServeError::ShuttingDown => write!(f, "server shutting down"),
         }
@@ -139,6 +175,14 @@ pub struct ServerConfig {
     /// [`stone_par::inline_scope`], so concurrent batches never
     /// oversubscribe the machine (executors × kernel threads).
     pub workers: usize,
+    /// Consecutive panicked batches that trip a venue's circuit breaker
+    /// (fast-failing the venue with [`ServeError::VenueUnavailable`] and
+    /// rolling it back to its last-good model). **0 disables the breaker**;
+    /// the default is 3.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker fast-fails before letting a probe batch
+    /// through (half-open). Default 100 ms.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServerConfig {
@@ -149,6 +193,8 @@ impl Default for ServerConfig {
             queue_capacity: 1024,
             venue_capacity: None,
             workers: 1,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(100),
         }
     }
 }
@@ -168,6 +214,8 @@ impl ServerConfig {
 pub(crate) struct Shared {
     pub(crate) stats: ServerStats,
     pub(crate) accepting: AtomicBool,
+    pub(crate) breakers: BreakerSet,
+    pub(crate) chaos: ChaosState,
 }
 
 /// A long-running localization service over a [`ModelRegistry`].
@@ -190,7 +238,7 @@ pub(crate) struct Shared {
 /// let registry = Arc::new(ModelRegistry::new());
 /// registry.publish("office", StoneBuilder::quick().fit(&suite.train, 1));
 ///
-/// let server = LocalizationServer::start(registry, ServerConfig::default());
+/// let mut server = LocalizationServer::start(registry, ServerConfig::default());
 /// let handle = server.handle();
 /// let resp = handle.locate("office", &suite.train.records()[0].rssi).unwrap();
 /// println!("located at {} by model v{}", resp.position, resp.model_version);
@@ -207,14 +255,17 @@ pub struct LocalizationServer {
 impl LocalizationServer {
     /// Starts the executor threads and returns the running server.
     ///
+    /// Fault injection follows the `STONE_CHAOS` environment variable (see
+    /// [`ChaosConfig`]); unset means none.
+    ///
     /// # Panics
     ///
     /// Panics when the configuration is degenerate (zero `max_batch`,
-    /// `queue_capacity`, `venue_capacity` or `workers`) or a thread cannot
-    /// be spawned.
+    /// `queue_capacity`, `venue_capacity` or `workers`), `STONE_CHAOS` is
+    /// set but malformed, or a thread cannot be spawned.
     #[must_use]
     pub fn start(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Self {
-        Self::start_inner(registry, cfg, false)
+        Self::start_inner(registry, cfg, false, ChaosConfig::from_env())
     }
 
     /// Like [`LocalizationServer::start`], but the executors begin *parked*:
@@ -229,7 +280,39 @@ impl LocalizationServer {
     /// Same conditions as [`LocalizationServer::start`].
     #[must_use]
     pub fn start_paused(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Self {
-        Self::start_inner(registry, cfg, true)
+        Self::start_inner(registry, cfg, true, ChaosConfig::from_env())
+    }
+
+    /// Like [`LocalizationServer::start`], with an explicit fault-injection
+    /// configuration instead of the `STONE_CHAOS` environment variable —
+    /// what the resilience test suites use, so parallel tests never race on
+    /// the process environment.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`LocalizationServer::start`].
+    #[must_use]
+    pub fn start_with_chaos(
+        registry: Arc<ModelRegistry>,
+        cfg: ServerConfig,
+        chaos: ChaosConfig,
+    ) -> Self {
+        Self::start_inner(registry, cfg, false, chaos)
+    }
+
+    /// [`LocalizationServer::start_paused`] with an explicit fault-injection
+    /// configuration (see [`LocalizationServer::start_with_chaos`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`LocalizationServer::start`].
+    #[must_use]
+    pub fn start_paused_with_chaos(
+        registry: Arc<ModelRegistry>,
+        cfg: ServerConfig,
+        chaos: ChaosConfig,
+    ) -> Self {
+        Self::start_inner(registry, cfg, true, chaos)
     }
 
     /// Unparks the executors of a [`LocalizationServer::start_paused`]
@@ -238,12 +321,19 @@ impl LocalizationServer {
         self.queue.resume();
     }
 
-    fn start_inner(registry: Arc<ModelRegistry>, cfg: ServerConfig, paused: bool) -> Self {
+    fn start_inner(
+        registry: Arc<ModelRegistry>,
+        cfg: ServerConfig,
+        paused: bool,
+        chaos: ChaosConfig,
+    ) -> Self {
         cfg.validate();
         let queue = Arc::new(ShardedQueue::new(cfg.queue_capacity, cfg.venue_capacity, paused));
         let shared = Arc::new(Shared {
             stats: ServerStats::new(cfg.max_batch),
             accepting: AtomicBool::new(true),
+            breakers: BreakerSet::new(cfg.breaker_threshold, cfg.breaker_cooldown),
+            chaos: ChaosState::new(chaos),
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -288,7 +378,12 @@ impl LocalizationServer {
     /// Stops accepting new requests, drains every request already queued,
     /// and joins the executor threads. Queued requests are *answered*, not
     /// dropped — the zero-dropped-queries half of the warm-reload story.
-    pub fn shutdown(mut self) {
+    ///
+    /// Idempotent: calling it again (or dropping the server afterwards) is
+    /// a no-op — shutdown paths layered above (wire front-end teardown,
+    /// signal handlers, test harnesses) may all race to stop the same
+    /// server safely.
+    pub fn shutdown(&mut self) {
         self.shutdown_inner();
     }
 
@@ -333,12 +428,17 @@ impl ServerHandle {
         &self,
         venue: &str,
         rssi: &[f32],
+        deadline: Option<Duration>,
     ) -> (Request, mpsc::Receiver<Result<LocateResponse, ServeError>>) {
         let (reply, rx) = mpsc::channel();
+        // One Instant::now() stamps both: the deadline budget counts from
+        // the moment of submission, queueing time included.
+        let now = Instant::now();
         let req = Request {
             venue: venue.to_string(),
             rssi: rssi.to_vec(),
-            enqueued: Instant::now(),
+            enqueued: now,
+            deadline: deadline.map(|d| now + d),
             reply: Reply::Channel(reply),
         };
         (req, rx)
@@ -354,11 +454,30 @@ impl ServerHandle {
     /// Returns [`ServeError::ShuttingDown`] when the server no longer
     /// accepts requests.
     pub fn submit(&self, venue: &str, rssi: &[f32]) -> Result<PendingLocate, ServeError> {
+        self.submit_deadline(venue, rssi, None)
+    }
+
+    /// [`ServerHandle::submit`] with an optional deadline budget counted
+    /// from now: if the request is still queued once the budget elapses, it
+    /// is dropped at batch-collect time — before ever occupying a batch
+    /// slot — and answered [`ServeError::DeadlineExceeded`]. `None` (and
+    /// the plain [`ServerHandle::submit`]) never expires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShuttingDown`] when the server no longer
+    /// accepts requests.
+    pub fn submit_deadline(
+        &self,
+        venue: &str,
+        rssi: &[f32],
+        deadline: Option<Duration>,
+    ) -> Result<PendingLocate, ServeError> {
         if !self.shared.accepting.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
         let vstats = self.shared.stats.venue(venue);
-        let (req, rx) = self.request(venue, rssi);
+        let (req, rx) = self.request(venue, rssi, deadline);
         // Count the request in *before* the push: a fast executor may pull
         // and complete it before this thread runs again, and queue_depth
         // must never transiently underflow.
@@ -382,11 +501,27 @@ impl ServerHandle {
     /// Returns [`ServeError::QueueFull`], [`ServeError::VenueQueueFull`] or
     /// [`ServeError::ShuttingDown`].
     pub fn try_submit(&self, venue: &str, rssi: &[f32]) -> Result<PendingLocate, ServeError> {
+        self.try_submit_deadline(venue, rssi, None)
+    }
+
+    /// [`ServerHandle::try_submit`] with an optional deadline budget (see
+    /// [`ServerHandle::submit_deadline`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`], [`ServeError::VenueQueueFull`] or
+    /// [`ServeError::ShuttingDown`].
+    pub fn try_submit_deadline(
+        &self,
+        venue: &str,
+        rssi: &[f32],
+        deadline: Option<Duration>,
+    ) -> Result<PendingLocate, ServeError> {
         if !self.shared.accepting.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
         let vstats = self.shared.stats.venue(venue);
-        let (req, rx) = self.request(venue, rssi);
+        let (req, rx) = self.request(venue, rssi, deadline);
         // Same enqueue-before-push ordering as `submit`.
         self.shared.stats.record_enqueued();
         vstats.record_enqueued();
@@ -435,16 +570,41 @@ impl ServerHandle {
     where
         F: FnOnce(Result<LocateResponse, ServeError>) + Send + 'static,
     {
+        self.try_submit_with_deadline(venue, rssi, None, reply)
+    }
+
+    /// [`ServerHandle::try_submit_with`] with an optional deadline budget
+    /// (see [`ServerHandle::submit_deadline`]) — the submit path the wire
+    /// front-end uses for v2 requests carrying a deadline. An expired
+    /// request's callback fires with [`ServeError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`], [`ServeError::VenueQueueFull`] or
+    /// [`ServeError::ShuttingDown`]; the callback has already been invoked
+    /// with the same error.
+    pub fn try_submit_with_deadline<F>(
+        &self,
+        venue: &str,
+        rssi: &[f32],
+        deadline: Option<Duration>,
+        reply: F,
+    ) -> Result<(), ServeError>
+    where
+        F: FnOnce(Result<LocateResponse, ServeError>) + Send + 'static,
+    {
         let cb = ReplyCallback::new(Box::new(reply));
         if !self.shared.accepting.load(Ordering::SeqCst) {
             cb.call(Err(ServeError::ShuttingDown));
             return Err(ServeError::ShuttingDown);
         }
         let vstats = self.shared.stats.venue(venue);
+        let now = Instant::now();
         let req = Request {
             venue: venue.to_string(),
             rssi: rssi.to_vec(),
-            enqueued: Instant::now(),
+            enqueued: now,
+            deadline: deadline.map(|d| now + d),
             reply: Reply::Callback(cb),
         };
         // Same enqueue-before-push ordering as `submit`.
@@ -490,6 +650,23 @@ impl ServerHandle {
     /// blocks instead).
     pub fn locate(&self, venue: &str, rssi: &[f32]) -> Result<LocateResponse, ServeError> {
         self.submit(venue, rssi)?.wait()
+    }
+
+    /// [`ServerHandle::locate`] with a deadline budget: blocks until the
+    /// answer arrives or the request expires in queue.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`] except `QueueFull`/`VenueQueueFull` (a full queue
+    /// blocks instead); [`ServeError::DeadlineExceeded`] when the budget
+    /// elapsed before a batch executed the request.
+    pub fn locate_deadline(
+        &self,
+        venue: &str,
+        rssi: &[f32],
+        deadline: Duration,
+    ) -> Result<LocateResponse, ServeError> {
+        self.submit_deadline(venue, rssi, Some(deadline))?.wait()
     }
 
     /// Submits one scan, failing fast when the queue is full, and blocks

@@ -78,6 +78,14 @@ pub(crate) struct VenueStats {
     shed_global: AtomicU64,
     /// Requests shed because this venue's own sub-queue cap was hit.
     shed_venue: AtomicU64,
+    /// Requests whose deadline expired before a batch executed them.
+    expired: AtomicU64,
+    /// Batches whose model call panicked (isolated; failed as `Internal`).
+    panicked_batches: AtomicU64,
+    /// Times this venue's circuit breaker transitioned to Open.
+    breaker_trips: AtomicU64,
+    /// Requests fast-failed while the venue's breaker was open.
+    fast_failed: AtomicU64,
     /// `batch_hist[s - 1]` counts executed single-venue batches of size `s`.
     batch_hist: Vec<AtomicU64>,
     /// Power-of-two microsecond latency buckets (enqueue → reply).
@@ -92,6 +100,10 @@ impl VenueStats {
             completed: AtomicU64::new(0),
             shed_global: AtomicU64::new(0),
             shed_venue: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            panicked_batches: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            fast_failed: AtomicU64::new(0),
             batch_hist: (0..max_batch).map(|_| AtomicU64::new(0)).collect(),
             latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
         }
@@ -117,6 +129,22 @@ impl VenueStats {
         self.shed_venue.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_panicked_batch(&self) {
+        self.panicked_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_fast_failed(&self) {
+        self.fast_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_batch(&self, size: usize) {
         debug_assert!(size >= 1 && size <= self.batch_hist.len());
         self.batch_hist[size - 1].fetch_add(1, Ordering::Relaxed);
@@ -136,6 +164,10 @@ impl VenueStats {
             completed: self.completed.load(Ordering::Relaxed),
             shed_global: self.shed_global.load(Ordering::Relaxed),
             shed_venue: self.shed_venue.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            panicked_batches: self.panicked_batches.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            fast_failed: self.fast_failed.load(Ordering::Relaxed),
             batch_hist: self.batch_hist.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
             latency_hist: self.latency_hist.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
         }
@@ -154,6 +186,10 @@ pub(crate) struct ServerStats {
     /// Requests rejected at the door because a bounded queue (global or
     /// per-venue) was full.
     rejected: AtomicU64,
+    /// Requests whose deadline expired before a batch executed them.
+    expired: AtomicU64,
+    /// Batches whose model call panicked (isolated; failed as `Internal`).
+    panicked_batches: AtomicU64,
     /// `batch_hist[s - 1]` counts executed batches of size `s`.
     batch_hist: Vec<AtomicU64>,
     /// Power-of-two microsecond latency buckets (enqueue → reply).
@@ -171,6 +207,8 @@ impl ServerStats {
             enqueued: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            panicked_batches: AtomicU64::new(0),
             batch_hist: (0..max_batch).map(|_| AtomicU64::new(0)).collect(),
             latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
             venues: RwLock::new(HashMap::new()),
@@ -182,10 +220,10 @@ impl ServerStats {
     /// read-lock + `Arc` clone per request (submit paths look it up once
     /// and thread the `Arc` through).
     pub(crate) fn venue(&self, venue: &str) -> Arc<VenueStats> {
-        if let Some(v) = self.venues.read().expect("venue stats lock").get(venue) {
+        if let Some(v) = self.venues.read().unwrap_or_else(|e| e.into_inner()).get(venue) {
             return Arc::clone(v);
         }
-        let mut venues = self.venues.write().expect("venue stats lock");
+        let mut venues = self.venues.write().unwrap_or_else(|e| e.into_inner());
         Arc::clone(
             venues
                 .entry(venue.to_string())
@@ -209,6 +247,14 @@ impl ServerStats {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_panicked_batch(&self) {
+        self.panicked_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_batch(&self, size: usize) {
         debug_assert!(size >= 1 && size <= self.batch_hist.len());
         self.batch_hist[size - 1].fetch_add(1, Ordering::Relaxed);
@@ -224,7 +270,7 @@ impl ServerStats {
         let mut venues: Vec<VenueStatsSnapshot> = self
             .venues
             .read()
-            .expect("venue stats lock")
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(name, v)| v.snapshot(name))
             .collect();
@@ -234,6 +280,8 @@ impl ServerStats {
             enqueued: self.enqueued.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            panicked_batches: self.panicked_batches.load(Ordering::Relaxed),
             batch_hist: self.batch_hist.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
             latency_hist: self.latency_hist.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
             venues,
@@ -261,6 +309,20 @@ pub struct VenueStatsSnapshot {
     /// Requests shed because this venue's **own** sub-queue cap was hit
     /// ([`crate::ServeError::VenueQueueFull`]).
     pub shed_venue: u64,
+    /// Requests whose deadline expired before a batch executed them
+    /// ([`crate::ServeError::DeadlineExceeded`]); expired work never
+    /// reaches the model.
+    pub expired: u64,
+    /// Batches whose model call panicked. Each one was isolated: its
+    /// requests failed with [`crate::ServeError::Internal`] and the
+    /// executor survived.
+    pub panicked_batches: u64,
+    /// Times this venue's circuit breaker tripped open (each trip also
+    /// attempts a last-good model rollback).
+    pub breaker_trips: u64,
+    /// Requests fast-failed with [`crate::ServeError::VenueUnavailable`]
+    /// while the venue's breaker was open.
+    pub fast_failed: u64,
     /// `batch_hist[s - 1]` counts executed single-venue batches of size `s`.
     pub batch_hist: Vec<u64>,
     /// Power-of-two microsecond latency buckets: `latency_hist[i]` counts
@@ -327,6 +389,12 @@ pub struct StatsSnapshot {
     /// ([`crate::ServerHandle::try_locate`] backpressure); the per-venue
     /// entries in [`StatsSnapshot::venues`] split the two causes.
     pub rejected: u64,
+    /// Requests whose deadline expired before a batch executed them, across
+    /// all venues.
+    pub expired: u64,
+    /// Batches whose model call panicked (isolated per batch), across all
+    /// venues.
+    pub panicked_batches: u64,
     /// `batch_hist[s - 1]` counts executed batches of size `s`.
     pub batch_hist: Vec<u64>,
     /// Power-of-two microsecond latency buckets: `latency_hist[i]` counts

@@ -46,7 +46,7 @@ fn overflow_beyond_capacity_is_shed_exactly() {
 
     // Paused: the executors are parked, so "queue full" is a state we set
     // up exactly, not a race we hope to win.
-    let server = LocalizationServer::start_paused(
+    let mut server = LocalizationServer::start_paused(
         registry,
         ServerConfig {
             max_batch: 16,
@@ -117,7 +117,7 @@ fn callbacks_fire_exactly_once_across_shutdown() {
     let registry = Arc::new(ModelRegistry::new());
     registry.publish("office", tiny_localizer(&suite.train, 1));
 
-    let server = LocalizationServer::start_paused(
+    let mut server = LocalizationServer::start_paused(
         registry,
         ServerConfig {
             max_batch: 16,

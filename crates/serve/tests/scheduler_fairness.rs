@@ -53,7 +53,7 @@ fn oldest_first_drains_whole_venues_in_arrival_order() {
     let venues: Vec<String> =
         ["hot", "cold-0", "cold-1", "cold-2"].iter().map(|s| (*s).to_string()).collect();
     let (registry, scan) = registry_for(&venues, 41);
-    let server = LocalizationServer::start_paused(
+    let mut server = LocalizationServer::start_paused(
         registry,
         ServerConfig {
             max_batch: 8,
@@ -122,7 +122,7 @@ fn oldest_first_drains_whole_venues_in_arrival_order() {
 fn deepest_venue_wins_within_the_max_wait_window() {
     let venues: Vec<String> = ["shallow", "deep"].iter().map(|s| (*s).to_string()).collect();
     let (registry, scan) = registry_for(&venues, 42);
-    let server = LocalizationServer::start_paused(
+    let mut server = LocalizationServer::start_paused(
         registry,
         ServerConfig {
             max_batch: 8,
@@ -181,7 +181,7 @@ fn hot_venue_does_not_starve_fifteen_cold_venues() {
     let mut venues: Vec<String> = vec!["hot".to_string()];
     venues.extend((0..15).map(|i| format!("cold-{i:02}")));
     let (registry, scan) = registry_for(&venues, 43);
-    let server = LocalizationServer::start(
+    let mut server = LocalizationServer::start(
         registry,
         ServerConfig {
             max_batch: 16,
@@ -261,7 +261,7 @@ fn hot_venue_does_not_starve_fifteen_cold_venues() {
 fn venue_cap_and_global_capacity_shed_distinctly() {
     let venues: Vec<String> = ["a", "b", "c", "d", "e"].iter().map(|s| (*s).to_string()).collect();
     let (registry, scan) = registry_for(&venues, 44);
-    let server = LocalizationServer::start_paused(
+    let mut server = LocalizationServer::start_paused(
         registry,
         ServerConfig {
             max_batch: 16,
@@ -269,6 +269,7 @@ fn venue_cap_and_global_capacity_shed_distinctly() {
             queue_capacity: 8,
             venue_capacity: Some(2),
             workers: 1,
+            ..ServerConfig::default()
         },
     );
     let handle = server.handle();
@@ -324,7 +325,7 @@ fn venue_cap_and_global_capacity_shed_distinctly() {
 fn removing_a_venue_with_queued_requests_fails_them_per_request() {
     let venues: Vec<String> = ["office", "doomed"].iter().map(|s| (*s).to_string()).collect();
     let (registry, scan) = registry_for(&venues, 45);
-    let server = LocalizationServer::start_paused(
+    let mut server = LocalizationServer::start_paused(
         Arc::clone(&registry),
         ServerConfig {
             max_batch: 8,
@@ -383,7 +384,7 @@ fn exactly_k_shed_ledgers_agree_wire_vs_serve_across_thread_budgets() {
                     ..ServerConfig::default()
                 },
             );
-            let server = NetServer::start_with(inner, "127.0.0.1:0").expect("bind");
+            let mut server = NetServer::start_with(inner, "127.0.0.1:0").expect("bind");
             let mut client = NetClient::connect(server.local_addr()).expect("connect");
             client.set_read_timeout(Some(Duration::from_secs(20))).expect("read timeout");
 

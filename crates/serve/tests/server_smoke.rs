@@ -46,7 +46,7 @@ fn concurrent_clients_coalesce_and_survive_warm_reload() {
     registry.publish("office", tiny_localizer(&suite.train, 1));
     let retrained = tiny_localizer(&suite.train, 2);
 
-    let server = LocalizationServer::start(
+    let mut server = LocalizationServer::start(
         Arc::clone(&registry),
         ServerConfig {
             max_batch: 16,

@@ -22,7 +22,14 @@
 //! Knobs (environment): `LOADGEN_CLIENTS` / `LOADGEN_REQUESTS` for act 1;
 //! `LOADGEN_VENUES`, `LOADGEN_FLEET_CLIENTS` (per venue), `LOADGEN_RATE`
 //! (per-client Hz), `LOADGEN_SECONDS`, `LOADGEN_ADDR` for act 2;
-//! `STONE_THREADS` for the kernel thread budget.
+//! `LOADGEN_DEADLINE_MS` (per-request deadline budget on the wire, 0 =
+//! none) and `LOADGEN_RETRIES` (re-sends a shed request up to N times —
+//! the `retried` column and the reported retry amplification make a
+//! retry storm visible instead of silent); `STONE_THREADS` for the kernel
+//! thread budget. With `STONE_CHAOS` set (see `stone_serve::ChaosConfig`)
+//! the spawned act-2 server injects faults, turning the fleet run into a
+//! chaos smoke: failed requests must show up in the `expired` / `error`
+//! columns, never as hangs.
 
 use std::collections::HashMap;
 use std::io::ErrorKind;
@@ -73,7 +80,7 @@ fn run_pass(
     load: &Workload<'_>,
     swap: Option<StoneLocalizer>,
 ) -> PassResult {
-    let server = LocalizationServer::start(Arc::clone(registry), cfg);
+    let mut server = LocalizationServer::start(Arc::clone(registry), cfg);
     let start = Instant::now();
     let answered: usize = std::thread::scope(|s| {
         let workers: Vec<_> = (0..load.clients)
@@ -144,6 +151,8 @@ struct ClientReport {
     sent: u64,
     ok: u64,
     shed: u64,
+    expired: u64,
+    retried: u64,
     other_errors: u64,
     timeouts: u64,
     latencies: Vec<Duration>,
@@ -154,6 +163,8 @@ impl ClientReport {
         self.sent += other.sent;
         self.ok += other.ok;
         self.shed += other.shed;
+        self.expired += other.expired;
+        self.retried += other.retried;
         self.other_errors += other.other_errors;
         self.timeouts += other.timeouts;
         self.latencies.extend(other.latencies);
@@ -169,11 +180,48 @@ impl ClientReport {
     }
 }
 
+/// One request still waiting for its answer: when it left, which scan it
+/// carried (so a shed can be re-sent), and how many sends it has had.
+struct Pending {
+    sent_at: Instant,
+    scan_idx: usize,
+    attempts: u32,
+}
+
+/// Classifies one response. A `Shed` with retries left is *not* counted
+/// yet — the caller re-sends it and the final outcome is what lands in the
+/// report; everything else settles immediately.
+fn absorb_response(
+    resp: &stone_repro::net::ScanResponse,
+    in_flight: &mut HashMap<u64, Pending>,
+    report: &mut ClientReport,
+    max_retries: u32,
+) -> Option<Pending> {
+    let pending = in_flight.remove(&resp.request_id)?;
+    match resp.result {
+        Ok(_) => {
+            report.ok += 1;
+            report.latencies.push(pending.sent_at.elapsed());
+        }
+        Err(WireStatus::Shed) if pending.attempts <= max_retries => return Some(pending),
+        Err(WireStatus::Shed) => report.shed += 1,
+        // A blown deadline budget is terminal by design: the answer is
+        // worthless now, so re-sending it would only amplify the overload
+        // that expired it.
+        Err(WireStatus::DeadlineExceeded) => report.expired += 1,
+        Err(_) => report.other_errors += 1,
+    }
+    None
+}
+
 /// One synthetic phone: open-loop Poisson arrivals at `rate_hz` until the
-/// deadline, responses drained opportunistically and matched by id. Open
-/// loop means the schedule does not wait for answers — when the server
-/// falls behind, requests pile up in flight (and get shed), exactly like a
-/// real fleet.
+/// run deadline, responses drained opportunistically and matched by id.
+/// Open loop means the schedule does not wait for answers — when the
+/// server falls behind, requests pile up in flight (and get shed), exactly
+/// like a real fleet. Each request carries `deadline_us` on the wire (0 =
+/// no budget), and a shed answer is re-sent up to `max_retries` times —
+/// both the PR 9 resilience knobs, observable per venue.
+#[allow(clippy::too_many_arguments)]
 fn fleet_client(
     addr: SocketAddr,
     venue: &str,
@@ -181,6 +229,8 @@ fn fleet_client(
     rate_hz: f64,
     deadline: Instant,
     seed: u64,
+    deadline_us: u32,
+    max_retries: u32,
 ) -> ClientReport {
     let mut report = ClientReport::default();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -188,21 +238,7 @@ fn fleet_client(
         report.other_errors += 1;
         return report;
     };
-    let mut in_flight: HashMap<u64, Instant> = HashMap::new();
-
-    let record = |resp: stone_repro::net::ScanResponse,
-                  in_flight: &mut HashMap<u64, Instant>,
-                  report: &mut ClientReport| {
-        let Some(sent_at) = in_flight.remove(&resp.request_id) else { return };
-        match resp.result {
-            Ok(_) => {
-                report.ok += 1;
-                report.latencies.push(sent_at.elapsed());
-            }
-            Err(WireStatus::Shed) => report.shed += 1,
-            Err(_) => report.other_errors += 1,
-        }
-    };
+    let mut in_flight: HashMap<u64, Pending> = HashMap::new();
 
     let mut next_send = Instant::now();
     loop {
@@ -211,10 +247,11 @@ fn fleet_client(
             break;
         }
         if now >= next_send {
-            let scan = &scans[rng.gen_range(0..scans.len())];
-            match client.send(venue, scan) {
+            let scan_idx = rng.gen_range(0..scans.len());
+            match client.send_deadline(venue, &scans[scan_idx], deadline_us) {
                 Ok(id) => {
-                    in_flight.insert(id, Instant::now());
+                    in_flight
+                        .insert(id, Pending { sent_at: Instant::now(), scan_idx, attempts: 1 });
                     report.sent += 1;
                 }
                 Err(_) => break, // server gone: report what we have
@@ -238,7 +275,26 @@ fn fleet_client(
         } else {
             let _ = client.set_read_timeout(Some(idle));
             match client.recv() {
-                Ok(resp) => record(resp, &mut in_flight, &mut report),
+                Ok(resp) => {
+                    if let Some(p) =
+                        absorb_response(&resp, &mut in_flight, &mut report, max_retries)
+                    {
+                        // Shed with retries left: re-send the same scan
+                        // under a fresh id. The latency clock keeps running
+                        // from the *first* send — a retried success paid
+                        // for both trips.
+                        match client.send_deadline(venue, &scans[p.scan_idx], deadline_us) {
+                            Ok(id) => {
+                                report.retried += 1;
+                                in_flight.insert(id, Pending { attempts: p.attempts + 1, ..p });
+                            }
+                            Err(_) => {
+                                report.shed += 1; // settle it before bailing
+                                break;
+                            }
+                        }
+                    }
+                }
                 Err(ClientError::Io(e))
                     if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
                 Err(_) => break,
@@ -247,13 +303,16 @@ fn fleet_client(
     }
 
     // Grace drain: the run is over, but in-flight requests deserve their
-    // answers. Whatever is still unanswered when the grace expires (or the
-    // server closes) is a timeout.
+    // answers. No re-sends past this point (retries of 0): whatever is
+    // still shed settles as shed, and whatever stays unanswered when the
+    // grace expires (or the server closes) is a timeout.
     let _ = client.finish_sending();
     let _ = client.set_read_timeout(Some(Duration::from_secs(5)));
     while !in_flight.is_empty() {
         match client.recv() {
-            Ok(resp) => record(resp, &mut in_flight, &mut report),
+            Ok(resp) => {
+                let _ = absorb_response(&resp, &mut in_flight, &mut report, 0);
+            }
             // Closed, read timeout, or wire error: everything left is a
             // timeout from this phone's point of view.
             Err(_) => break,
@@ -272,6 +331,13 @@ fn main() {
     let fleet_clients = env_usize("LOADGEN_FLEET_CLIENTS", 8);
     let rate_hz = env_f64("LOADGEN_RATE", 600.0);
     let seconds = env_f64("LOADGEN_SECONDS", 2.0);
+    // Resilience knobs (0 = off): a wire deadline budget per request, and
+    // how many times a shed request is re-sent.
+    let deadline_ms: u32 =
+        std::env::var("LOADGEN_DEADLINE_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+    let deadline_us = deadline_ms.saturating_mul(1_000);
+    let max_retries: u32 =
+        std::env::var("LOADGEN_RETRIES").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
     // Set: act 2 drives an already-running server (e.g. `examples/netserve`)
     // at that address, which must serve the same `venue-NN` names. Unset:
     // act 2 spawns its own server on an ephemeral loopback port.
@@ -383,8 +449,9 @@ fn main() {
     println!(
         "loadgen: act 2: fleet of {n_venues} venue(s) × {fleet_clients} phones at \
          {rate_hz:.0} Hz each for {seconds:.1}s against {server_addr} \
-         (offered ≈ {:.0} req/s, device mix: {})",
+         (offered ≈ {:.0} req/s, deadline {}, shed retries {max_retries}, device mix: {})",
         n_venues as f64 * fleet_clients as f64 * rate_hz,
+        if deadline_ms == 0 { "off".to_string() } else { format!("{deadline_ms} ms") },
         mix.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", "),
     );
 
@@ -404,7 +471,17 @@ fn main() {
                     scans.iter().map(|r| through_device(r, &device)).collect();
                 s.spawn(move || {
                     let seed = ((v as u64) << 32) | c as u64;
-                    (v, fleet_client(server_addr, venue, &phone_scans, rate_hz, deadline, seed))
+                    let report = fleet_client(
+                        server_addr,
+                        venue,
+                        &phone_scans,
+                        rate_hz,
+                        deadline,
+                        seed,
+                        deadline_us,
+                        max_retries,
+                    );
+                    (v, report)
                 })
             })
             .collect();
@@ -417,22 +494,24 @@ fn main() {
         per_venue
     });
     let fleet_wall = fleet_start.elapsed();
-    let ledger = server.map(|s| (s.serve_stats(), s.shutdown()));
+    let ledger = server.map(|mut s| (s.serve_stats(), s.shutdown()));
 
     println!();
     println!(
-        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9}",
-        "venue", "sent", "ok", "shed", "timeout", "ok/s", "p50", "p99"
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "venue", "sent", "ok", "shed", "expired", "retried", "timeout", "ok/s", "p50", "p99"
     );
     let mut fleet_total = ClientReport::default();
     for (venue, report) in &mut per_venue {
         let (p50, p99) = (report.percentile(0.50), report.percentile(0.99));
         println!(
-            "{:<10} {:>8} {:>8} {:>8} {:>8} {:>9.0} {:>9} {:>9}",
+            "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9.0} {:>9} {:>9}",
             venue,
             report.sent,
             report.ok,
             report.shed,
+            report.expired,
+            report.retried,
             report.timeouts,
             report.ok as f64 / fleet_wall.as_secs_f64(),
             fmt_latency(p50),
@@ -444,16 +523,31 @@ fn main() {
     let fleet_rps = fleet_total.ok as f64 / fleet_wall.as_secs_f64();
     let (p50, p99) = (fleet_total.percentile(0.50), fleet_total.percentile(0.99));
     println!(
-        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>9.0} {:>9} {:>9}",
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9.0} {:>9} {:>9}",
         "TOTAL",
         fleet_total.sent,
         fleet_total.ok,
         fleet_total.shed,
+        fleet_total.expired,
+        fleet_total.retried,
         fleet_total.timeouts,
         fleet_rps,
         fmt_latency(p50),
         fmt_latency(p99),
     );
+    // Retry amplification: wire frames per unique request. 1.00 means no
+    // retries; anything above it is extra offered load the retry knob
+    // added on top of an already-shedding server.
+    if fleet_total.sent > 0 {
+        println!(
+            "retry amplification: {:.3} ({} re-sends over {} requests); \
+             deadline-expired: {}",
+            (fleet_total.sent + fleet_total.retried) as f64 / fleet_total.sent as f64,
+            fleet_total.retried,
+            fleet_total.sent,
+            fleet_total.expired,
+        );
+    }
     println!();
     if let Some((serve_stats, wire)) = &ledger {
         println!(
@@ -488,7 +582,11 @@ fn main() {
                 fmt_latency(v.p99()),
             );
         }
-        assert_eq!(fleet_total.sent, wire.requests_decoded, "every sent frame was decoded");
+        assert_eq!(
+            fleet_total.sent + fleet_total.retried,
+            wire.requests_decoded,
+            "every sent frame (including re-sends) was decoded"
+        );
     } else {
         println!(
             "fleet wall {fleet_wall:.2?}; the remote server at {server_addr} keeps \
@@ -504,8 +602,12 @@ fn main() {
         100.0 * fleet_rps / inproc_rps,
     );
     assert_eq!(
-        fleet_total.ok + fleet_total.shed + fleet_total.other_errors + fleet_total.timeouts,
+        fleet_total.ok
+            + fleet_total.shed
+            + fleet_total.expired
+            + fleet_total.other_errors
+            + fleet_total.timeouts,
         fleet_total.sent,
-        "every request is accounted for: ok + shed + errors + timeouts"
+        "every request is accounted for: ok + shed + expired + errors + timeouts"
     );
 }

@@ -47,7 +47,7 @@ fn main() {
         registry.publish_bytes(venue, &blob).expect("model publishes from bytes");
     }
 
-    let server = NetServer::start(registry, addr.as_str(), ServerConfig::default())
+    let mut server = NetServer::start(registry, addr.as_str(), ServerConfig::default())
         .expect("bind NETSERVE_ADDR");
     println!(
         "netserve: serving {} venue(s) [{}] on {} ({} refs per venue, {} B blob, \
