@@ -20,8 +20,9 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::codec::{
-    decode_response, encode_request, FrameBuffer, ScanRequest, ScanResponse, WireError,
-    WirePosition, WireStatus,
+    decode_admin_chunk, decode_response, encode_admin_request, encode_request, payload_kind,
+    AdminQuery, FrameBuffer, ScanRequest, ScanResponse, WireError, WirePosition, WireStatus,
+    KIND_ADMIN_CHUNK,
 };
 
 /// How the blocking `locate` paths of a [`NetClient`] handle transient
@@ -216,6 +217,12 @@ impl NetClient {
     /// budget runs out, its response is [`WireStatus::DeadlineExceeded`]
     /// and the model is never consulted.
     ///
+    /// When tracing is enabled in this process
+    /// ([`stone_obs::tracing_enabled`]), the request carries a freshly
+    /// minted trace ID on the wire so the server's stage spans attribute
+    /// to it; otherwise the trace-id field is 0 and the server mints its
+    /// own (or none, if tracing is off server-side too).
+    ///
     /// # Errors
     ///
     /// Same as [`NetClient::send`].
@@ -226,11 +233,13 @@ impl NetClient {
         deadline_us: u32,
     ) -> Result<u64, ClientError> {
         let request_id = self.next_id;
+        let trace_id = if stone_obs::tracing_enabled() { stone_obs::mint_trace_id() } else { 0 };
         let frame = encode_request(&ScanRequest {
             request_id,
             venue: venue.to_string(),
             rssi: rssi.to_vec(),
             deadline_us,
+            trace_id,
         })
         .map_err(ClientError::Encode)?;
         self.stream.write_all(&frame)?;
@@ -274,18 +283,8 @@ impl NetClient {
     /// unparseable frame, or [`ClientError::Io`] (including read
     /// timeouts configured on the socket).
     pub fn recv(&mut self) -> Result<ScanResponse, ClientError> {
-        loop {
-            if let Some(payload) = self.frames.next_payload().map_err(ClientError::Wire)? {
-                return decode_response(&payload).map_err(ClientError::Wire);
-            }
-            let mut buf = [0u8; 4096];
-            match self.stream.read(&mut buf) {
-                Ok(0) => return Err(ClientError::Closed),
-                Ok(n) => self.frames.push_bytes(&buf[..n]),
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e) => return Err(e.into()),
-            }
-        }
+        let payload = self.next_payload_blocking()?;
+        decode_response(&payload).map_err(ClientError::Wire)
     }
 
     /// Sends one scan and blocks until **its** answer arrives (responses
@@ -353,6 +352,80 @@ impl NetClient {
             let resp = self.recv()?;
             if resp.request_id == id {
                 return resp.result.map_err(ClientError::Status);
+            }
+        }
+    }
+
+    /// Fetches the server's full stats surface as Prometheus-style
+    /// exposition text (parseable with [`stone_obs::parse_exposition`]):
+    /// serve counters and latency histograms, breaker states, model
+    /// versions, wire counters, the kernel-profiling registry and the span
+    /// ledger.
+    ///
+    /// Best sent on an **idle** connection: scan responses to still-
+    /// pipelined requests that arrive while the reply streams in are
+    /// decoded and dropped, exactly like [`NetClient::locate`]'s wait
+    /// loop.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Closed`] on EOF, [`ClientError::Wire`] on an
+    /// unparseable frame, or [`ClientError::Io`].
+    pub fn fetch_stats(&mut self) -> Result<String, ClientError> {
+        self.fetch_admin(AdminQuery::Stats)
+    }
+
+    /// Fetches the server's span-ring snapshot as text — one
+    /// `trace_id=… stage=… start_us=… dur_us=…` line per record after a
+    /// `#` header carrying the ledger. Same idle-connection caveat as
+    /// [`NetClient::fetch_stats`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetClient::fetch_stats`].
+    pub fn fetch_trace(&mut self) -> Result<String, ClientError> {
+        self.fetch_admin(AdminQuery::Trace)
+    }
+
+    /// Sends one admin query and concatenates its reply chunks until the
+    /// `last` flag (the server's writer thread keeps them contiguous).
+    fn fetch_admin(&mut self, query: AdminQuery) -> Result<String, ClientError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        self.stream.write_all(&encode_admin_request(query, request_id))?;
+        let mut text = String::new();
+        loop {
+            let payload = self.next_payload_blocking()?;
+            if payload_kind(&payload) != Some(KIND_ADMIN_CHUNK) {
+                // A scan response to a still-pipelined request: decode (to
+                // keep framing honest) and drop, as locate's wait loop does.
+                decode_response(&payload).map_err(ClientError::Wire)?;
+                continue;
+            }
+            let chunk = decode_admin_chunk(&payload).map_err(ClientError::Wire)?;
+            if chunk.request_id != request_id {
+                continue; // a stale admin reply from an abandoned fetch
+            }
+            text.push_str(&chunk.text);
+            if chunk.last {
+                return Ok(text);
+            }
+        }
+    }
+
+    /// Blocks until one complete frame payload is available, whatever its
+    /// kind.
+    fn next_payload_blocking(&mut self) -> Result<Vec<u8>, ClientError> {
+        loop {
+            if let Some(payload) = self.frames.next_payload().map_err(ClientError::Wire)? {
+                return Ok(payload);
+            }
+            let mut buf = [0u8; 4096];
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Err(ClientError::Closed),
+                Ok(n) => self.frames.push_bytes(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
             }
         }
     }

@@ -25,7 +25,11 @@ use std::time::Duration;
 /// when a response to a *v1* request would carry a status v1 cannot name,
 /// [`encode_response`] downgrades it to [`WireStatus::Internal`]
 /// (`DeadlineExceeded` cannot occur — a v1 request carries no deadline).
-pub const PROTOCOL_VERSION: u8 = 2;
+/// v3 added the `u64` [`ScanRequest::trace_id`] (v1/v2 requests decode
+/// with `trace_id == 0`, untraced) and the admin frame kinds
+/// ([`encode_admin_request`] / [`encode_admin_chunks`]) that serve the
+/// wire-queryable telemetry.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Oldest protocol version the decoders still accept.
 pub const MIN_PROTOCOL_VERSION: u8 = 1;
@@ -46,9 +50,22 @@ pub const MAX_VENUE_LEN: usize = 255;
 const HEADER_LEN: usize = 1 + 1 + 8;
 
 /// Message kind byte of a scan request.
-const KIND_REQUEST: u8 = 1;
+pub const KIND_REQUEST: u8 = 1;
 /// Message kind byte of a position response.
-const KIND_RESPONSE: u8 = 2;
+pub const KIND_RESPONSE: u8 = 2;
+/// Message kind byte of an admin **stats** query (header-only payload).
+pub const KIND_STATS_REQUEST: u8 = 3;
+/// Message kind byte of an admin **trace-snapshot** query (header-only
+/// payload).
+pub const KIND_TRACE_REQUEST: u8 = 4;
+/// Message kind byte of one admin text chunk answering either query.
+pub const KIND_ADMIN_CHUNK: u8 = 5;
+
+/// Most text bytes one admin chunk can carry: whatever fits in a frame
+/// after the header and the last-chunk flag. Longer admin bodies are split
+/// across several chunks ([`encode_admin_chunks`]) rather than raising
+/// [`MAX_FRAME_LEN`] for everyone.
+pub const MAX_ADMIN_TEXT_LEN: usize = MAX_FRAME_LEN - HEADER_LEN - 1;
 
 /// One localization query as it travels over the wire.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +83,12 @@ pub struct ScanRequest {
     /// without ever reaching the model. The `u32` range tops out around 71
     /// minutes — far past any sane queueing deadline.
     pub deadline_us: u32,
+    /// Tracing correlation ID (protocol v3); **0 means untraced** — and is
+    /// what a v1/v2 frame, which has no field for it, decodes to. A nonzero
+    /// ID is carried verbatim through the server's submit path, so the
+    /// stage spans recorded for this request (when server-side tracing is
+    /// enabled) can be joined with the client's own timings by ID.
+    pub trace_id: u64,
 }
 
 /// A successful localization answer carried by a [`ScanResponse`].
@@ -207,6 +230,8 @@ pub enum WireError {
     VenueTooLong(usize),
     /// The venue name bytes are not UTF-8.
     BadVenueUtf8,
+    /// The text bytes of an admin chunk are not UTF-8.
+    BadTextUtf8,
     /// The AP count exceeds [`MAX_AP_COUNT`].
     TooManyAps(usize),
     /// The payload has bytes left over after the declared content.
@@ -232,6 +257,7 @@ impl std::fmt::Display for WireError {
                 write!(f, "venue name of {n} B exceeds the {MAX_VENUE_LEN} B cap")
             }
             WireError::BadVenueUtf8 => write!(f, "venue name is not UTF-8"),
+            WireError::BadTextUtf8 => write!(f, "admin chunk text is not UTF-8"),
             WireError::TooManyAps(n) => {
                 write!(f, "AP count {n} exceeds the {MAX_AP_COUNT} cap")
             }
@@ -288,6 +314,11 @@ impl<'a> Cursor<'a> {
             Err(WireError::TrailingBytes(self.bytes.len()))
         }
     }
+
+    /// Consumes whatever remains of the payload.
+    fn rest(self) -> &'a [u8] {
+        self.bytes
+    }
 }
 
 fn push_header(out: &mut Vec<u8>, version: u8, kind: u8, request_id: u64) {
@@ -327,6 +358,18 @@ pub fn encode_request_v1(req: &ScanRequest) -> Result<Vec<u8>, WireError> {
     encode_request_version(req, 1)
 }
 
+/// Encodes one request as a **v2** frame — deadline but no trace ID, what
+/// the pre-observability fleet emits. The interop suites use this to pin
+/// that a v3 server still serves v2 clients (their requests simply decode
+/// untraced).
+///
+/// # Errors
+///
+/// Same cap errors as [`encode_request`].
+pub fn encode_request_v2(req: &ScanRequest) -> Result<Vec<u8>, WireError> {
+    encode_request_version(req, 2)
+}
+
 fn encode_request_version(req: &ScanRequest, version: u8) -> Result<Vec<u8>, WireError> {
     let venue = req.venue.as_bytes();
     if venue.len() > MAX_VENUE_LEN {
@@ -335,11 +378,15 @@ fn encode_request_version(req: &ScanRequest, version: u8) -> Result<Vec<u8>, Wir
     if req.rssi.len() > MAX_AP_COUNT {
         return Err(WireError::TooManyAps(req.rssi.len()));
     }
-    let mut out = Vec::with_capacity(4 + HEADER_LEN + 4 + 1 + venue.len() + 2 + 4 * req.rssi.len());
+    let mut out =
+        Vec::with_capacity(4 + HEADER_LEN + 4 + 8 + 1 + venue.len() + 2 + 4 * req.rssi.len());
     out.extend_from_slice(&[0; 4]); // length backpatched by seal()
     push_header(&mut out, version, KIND_REQUEST, req.request_id);
     if version >= 2 {
         out.extend_from_slice(&req.deadline_us.to_le_bytes());
+    }
+    if version >= 3 {
+        out.extend_from_slice(&req.trace_id.to_le_bytes());
     }
     out.push(venue.len() as u8);
     out.extend_from_slice(venue);
@@ -411,6 +458,7 @@ pub fn decode_request(payload: &[u8]) -> Result<(ScanRequest, u8), WireError> {
     let mut c = Cursor { bytes: payload };
     let (version, request_id) = decode_header(&mut c, KIND_REQUEST)?;
     let deadline_us = if version >= 2 { c.u32()? } else { 0 };
+    let trace_id = if version >= 3 { c.u64()? } else { 0 };
     let venue_len = c.u8()? as usize;
     let venue =
         std::str::from_utf8(c.take(venue_len)?).map_err(|_| WireError::BadVenueUtf8)?.to_string();
@@ -426,7 +474,7 @@ pub fn decode_request(payload: &[u8]) -> Result<(ScanRequest, u8), WireError> {
         rssi.push(c.f32()?);
     }
     c.finish()?;
-    Ok((ScanRequest { request_id, venue, rssi, deadline_us }, version))
+    Ok((ScanRequest { request_id, venue, rssi, deadline_us, trace_id }, version))
 }
 
 /// Decodes one response payload (the bytes *after* the length prefix).
@@ -447,6 +495,122 @@ pub fn decode_response(payload: &[u8]) -> Result<ScanResponse, WireError> {
     };
     c.finish()?;
     Ok(ScanResponse { request_id, result })
+}
+
+/// Which admin surface a telemetry query asks for (protocol v3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminQuery {
+    /// Prometheus-style exposition text: the serve stats (aggregate and
+    /// per venue), breaker states, published model versions, the net
+    /// front-end's own counters, the kernel-profiling registry and the
+    /// span ledger.
+    Stats,
+    /// The span ring as text, one `trace_id stage start_us dur_us` line
+    /// per record — newest window of traced requests.
+    Trace,
+}
+
+/// One chunk of an admin reply. Bodies longer than
+/// [`MAX_ADMIN_TEXT_LEN`] arrive as several chunks sharing the query's
+/// request id; `last` marks the final one. Chunks for one request id are
+/// contiguous and in order (the writer thread serializes them), so the
+/// client just concatenates until `last`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdminChunk {
+    /// The admin query's request id, echoed on every chunk.
+    pub request_id: u64,
+    /// True on the final chunk of this reply.
+    pub last: bool,
+    /// This chunk's slice of the reply text.
+    pub text: String,
+}
+
+/// Encodes an admin telemetry query (header-only payload, always the
+/// current protocol version — admin frames are v3-born).
+#[must_use]
+pub fn encode_admin_request(query: AdminQuery, request_id: u64) -> Vec<u8> {
+    let kind = match query {
+        AdminQuery::Stats => KIND_STATS_REQUEST,
+        AdminQuery::Trace => KIND_TRACE_REQUEST,
+    };
+    let mut out = Vec::with_capacity(4 + HEADER_LEN);
+    out.extend_from_slice(&[0; 4]);
+    push_header(&mut out, PROTOCOL_VERSION, kind, request_id);
+    seal(out)
+}
+
+/// Decodes an admin telemetry query payload.
+///
+/// # Errors
+///
+/// [`WireError::BadKind`] when the payload is not an admin query, plus the
+/// usual header malformations.
+pub fn decode_admin_request(payload: &[u8]) -> Result<(AdminQuery, u64), WireError> {
+    let mut c = Cursor { bytes: payload };
+    let version = c.u8()?;
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        return Err(WireError::BadVersion(version));
+    }
+    let query = match c.u8()? {
+        KIND_STATS_REQUEST => AdminQuery::Stats,
+        KIND_TRACE_REQUEST => AdminQuery::Trace,
+        k => return Err(WireError::BadKind(k)),
+    };
+    let request_id = c.u64()?;
+    c.finish()?;
+    Ok((query, request_id))
+}
+
+/// Encodes an admin reply as one or more ready-to-send chunk frames, each
+/// within [`MAX_FRAME_LEN`], split at UTF-8 character boundaries. Always
+/// yields at least one chunk (an empty reply is a single empty `last`
+/// chunk).
+#[must_use]
+pub fn encode_admin_chunks(request_id: u64, text: &str) -> Vec<Vec<u8>> {
+    let bytes = text.as_bytes();
+    let mut chunks = Vec::new();
+    let mut start = 0;
+    loop {
+        let mut end = (start + MAX_ADMIN_TEXT_LEN).min(bytes.len());
+        // Back off to a char boundary so every chunk is valid UTF-8 on its
+        // own (MAX_ADMIN_TEXT_LEN ≥ 4 guarantees progress).
+        while !text.is_char_boundary(end) {
+            end -= 1;
+        }
+        let last = end == bytes.len();
+        let mut out = Vec::with_capacity(4 + HEADER_LEN + 1 + (end - start));
+        out.extend_from_slice(&[0; 4]);
+        push_header(&mut out, PROTOCOL_VERSION, KIND_ADMIN_CHUNK, request_id);
+        out.push(u8::from(last));
+        out.extend_from_slice(&bytes[start..end]);
+        chunks.push(seal(out));
+        if last {
+            return chunks;
+        }
+        start = end;
+    }
+}
+
+/// Decodes one admin chunk payload.
+///
+/// # Errors
+///
+/// [`WireError::BadTextUtf8`] when the chunk's text bytes are not UTF-8,
+/// plus the usual header malformations.
+pub fn decode_admin_chunk(payload: &[u8]) -> Result<AdminChunk, WireError> {
+    let mut c = Cursor { bytes: payload };
+    let (_version, request_id) = decode_header(&mut c, KIND_ADMIN_CHUNK)?;
+    let last = c.u8()? != 0;
+    let text = std::str::from_utf8(c.rest()).map_err(|_| WireError::BadTextUtf8)?.to_string();
+    Ok(AdminChunk { request_id, last, text })
+}
+
+/// The kind byte of a decoded-but-unparsed payload — what a server's
+/// reader uses to route a frame to the right decoder. `None` when the
+/// payload is too short to carry a header.
+#[must_use]
+pub fn payload_kind(payload: &[u8]) -> Option<u8> {
+    (payload.len() >= HEADER_LEN).then(|| payload[1])
 }
 
 /// An incremental frame accumulator: push whatever bytes the socket
@@ -521,6 +685,7 @@ mod tests {
             venue: "office-east".into(),
             rssi: vec![-60.0, -100.0, f32::NAN, 0.0, -71.5],
             deadline_us: 2_500,
+            trace_id: 0xDEAD_BEEF_CAFE_F00D,
         }
     }
 
@@ -532,6 +697,7 @@ mod tests {
         assert_eq!(got.request_id, 42);
         assert_eq!(got.venue, "office-east");
         assert_eq!(got.deadline_us, 2_500);
+        assert_eq!(got.trace_id, 0xDEAD_BEEF_CAFE_F00D);
         // NaN-safe bit comparison.
         let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&got.rssi), bits(&req().rssi));
@@ -545,8 +711,21 @@ mod tests {
         assert_eq!(version, 1);
         assert_eq!(got.venue, "office-east");
         assert_eq!(got.deadline_us, 0, "v1 has no deadline field");
-        // The v1 frame is exactly 4 bytes shorter: the missing deadline.
-        assert_eq!(frame.len() + 4, encode_request(&req()).unwrap().len());
+        assert_eq!(got.trace_id, 0, "v1 has no trace field");
+        // The v1 frame is exactly 12 bytes shorter: the missing deadline
+        // (4 B, v2) and trace id (8 B, v3).
+        assert_eq!(frame.len() + 4 + 8, encode_request(&req()).unwrap().len());
+    }
+
+    #[test]
+    fn v2_requests_decode_untraced() {
+        let frame = encode_request_v2(&req()).unwrap();
+        assert_eq!(frame[4], 2, "v2 frame carries version byte 2");
+        let (got, version) = decode_request(&frame[4..]).unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(got.deadline_us, 2_500, "v2 keeps the deadline");
+        assert_eq!(got.trace_id, 0, "v2 has no trace field");
+        assert_eq!(frame.len() + 8, encode_request(&req()).unwrap().len());
     }
 
     #[test]
@@ -578,17 +757,28 @@ mod tests {
 
     #[test]
     fn caps_reject_before_allocation() {
-        let huge =
-            ScanRequest { request_id: 1, venue: "v".into(), rssi: vec![0.0; 3000], deadline_us: 0 };
+        let huge = ScanRequest {
+            request_id: 1,
+            venue: "v".into(),
+            rssi: vec![0.0; 3000],
+            deadline_us: 0,
+            trace_id: 0,
+        };
         assert_eq!(encode_request(&huge).unwrap_err(), WireError::TooManyAps(3000));
-        let long =
-            ScanRequest { request_id: 1, venue: "v".repeat(300), rssi: vec![], deadline_us: 0 };
+        let long = ScanRequest {
+            request_id: 1,
+            venue: "v".repeat(300),
+            rssi: vec![],
+            deadline_us: 0,
+            trace_id: 0,
+        };
         assert_eq!(encode_request(&long).unwrap_err(), WireError::VenueTooLong(300));
 
         // A forged payload declaring more APs than the cap.
         let mut payload = Vec::new();
         push_header(&mut payload, PROTOCOL_VERSION, KIND_REQUEST, 1);
         payload.extend_from_slice(&0u32.to_le_bytes()); // no deadline
+        payload.extend_from_slice(&0u64.to_le_bytes()); // untraced
         payload.push(0); // empty venue
         payload.extend_from_slice(&u16::MAX.to_le_bytes());
         assert_eq!(decode_request(&payload).unwrap_err(), WireError::TooManyAps(65535));
@@ -616,6 +806,44 @@ mod tests {
             fb.next_payload().unwrap_err(),
             WireError::Oversized { declared: u32::MAX as usize }
         );
+    }
+
+    #[test]
+    fn admin_request_roundtrips_both_queries() {
+        for query in [AdminQuery::Stats, AdminQuery::Trace] {
+            let frame = encode_admin_request(query, 77);
+            assert_eq!(decode_admin_request(&frame[4..]).unwrap(), (query, 77));
+            // The reader's router sees the right kind byte.
+            let kind = payload_kind(&frame[4..]).unwrap();
+            assert_eq!(kind, if query == AdminQuery::Stats { 3 } else { 4 });
+        }
+        // A scan request payload is not an admin query.
+        let scan = encode_request(&req()).unwrap();
+        assert_eq!(decode_admin_request(&scan[4..]).unwrap_err(), WireError::BadKind(KIND_REQUEST));
+    }
+
+    #[test]
+    fn admin_chunks_split_reassemble_and_stay_within_the_frame_cap() {
+        // Multi-byte chars across the split boundary exercise the UTF-8
+        // backoff; 2.5 chunks' worth of text exercises the chunk loop.
+        let text = "é".repeat(MAX_ADMIN_TEXT_LEN * 5 / 4);
+        let chunks = encode_admin_chunks(9, &text);
+        assert!(chunks.len() >= 3, "long body splits into several chunks");
+        let mut rebuilt = String::new();
+        for (i, frame) in chunks.iter().enumerate() {
+            assert!(frame.len() - 4 <= MAX_FRAME_LEN, "chunk within the frame cap");
+            let chunk = decode_admin_chunk(&frame[4..]).unwrap();
+            assert_eq!(chunk.request_id, 9);
+            assert_eq!(chunk.last, i == chunks.len() - 1, "only the final chunk is last");
+            rebuilt.push_str(&chunk.text);
+        }
+        assert_eq!(rebuilt, text, "chunks concatenate back to the body");
+
+        // An empty reply is still one (empty, last) chunk.
+        let empty = encode_admin_chunks(3, "");
+        assert_eq!(empty.len(), 1);
+        let chunk = decode_admin_chunk(&empty[0][4..]).unwrap();
+        assert!(chunk.last && chunk.text.is_empty());
     }
 
     #[test]

@@ -35,6 +35,16 @@
 //! story), and [`NetClient`] can carry a [`RetryPolicy`] that retries only
 //! transient failures — sheds, a draining server, broken connections
 //! (reconnecting first) — with deterministic jittered backoff.
+//!
+//! Protocol v3 adds the observability surface: requests carry a **trace
+//! id** (0 = untraced) that rides through to the server's stage spans, and
+//! two header-only **admin queries** ([`codec::AdminQuery`]) answer with
+//! chunked text — [`NetClient::fetch_stats`] returns the full telemetry
+//! surface as Prometheus-style exposition (serve counters, latency
+//! histograms, breaker states, model versions, wire counters, kernel
+//! profiling, span ledger) and [`NetClient::fetch_trace`] dumps the span
+//! ring. Setting `STONE_TRACE=1` where the server starts arms tracing
+//! process-wide.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,7 +56,8 @@ mod server;
 
 pub use client::{ClientError, NetClient, RetryPolicy};
 pub use codec::{
-    ScanRequest, ScanResponse, WireError, WirePosition, WireStatus, MAX_AP_COUNT, MAX_FRAME_LEN,
-    MAX_VENUE_LEN, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    AdminChunk, AdminQuery, ScanRequest, ScanResponse, WireError, WirePosition, WireStatus,
+    MAX_ADMIN_TEXT_LEN, MAX_AP_COUNT, MAX_FRAME_LEN, MAX_VENUE_LEN, MIN_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
 pub use server::{NetServer, NetStatsSnapshot};

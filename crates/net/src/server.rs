@@ -12,6 +12,7 @@
 //! every connection (no new requests), answer everything already accepted,
 //! flush and half-close the write sides, join every thread.
 
+use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -19,10 +20,14 @@ use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use stone_serve::{LocalizationServer, ModelRegistry, ServerConfig, ServerHandle, StatsSnapshot};
+use stone_obs::metrics::{write_sample, write_type};
+use stone_serve::{
+    LocalizationServer, ModelRegistry, ServerConfig, ServerHandle, StatsSnapshot, VenueHandle,
+};
 
 use crate::codec::{
-    decode_request, encode_response, ScanResponse, WirePosition, WireStatus, MAX_FRAME_LEN,
+    decode_admin_request, decode_request, encode_admin_chunks, encode_response, AdminQuery,
+    ScanResponse, WirePosition, WireStatus, KIND_STATS_REQUEST, KIND_TRACE_REQUEST, MAX_FRAME_LEN,
 };
 
 /// Live wire-level counters of one [`NetServer`], shared across its
@@ -36,6 +41,7 @@ struct NetStats {
     responses_written: AtomicU64,
     shed: AtomicU64,
     malformed_frames: AtomicU64,
+    admin_requests: AtomicU64,
 }
 
 /// A point-in-time copy of a [`NetServer`]'s wire-level counters.
@@ -55,6 +61,8 @@ pub struct NetStatsSnapshot {
     /// Frames that failed to parse; each one closed its connection after a
     /// [`WireStatus::Malformed`] goodbye.
     pub malformed_frames: u64,
+    /// Admin telemetry queries ([`AdminQuery`]) answered.
+    pub admin_requests: u64,
 }
 
 impl NetStats {
@@ -66,6 +74,7 @@ impl NetStats {
             responses_written: self.responses_written.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             malformed_frames: self.malformed_frames.load(Ordering::Relaxed),
+            admin_requests: self.admin_requests.load(Ordering::Relaxed),
         }
     }
 }
@@ -75,7 +84,21 @@ struct NetShared {
     accepting: AtomicBool,
     stats: NetStats,
     handle: ServerHandle,
+    /// The inner server's registry — the admin stats surface reports each
+    /// venue's published model version from here.
+    registry: Arc<ModelRegistry>,
     conns: Mutex<Vec<Conn>>,
+}
+
+/// What a reader queues for its connection's writer thread.
+enum Outbound {
+    /// A scan answer, tagged with the protocol version of the request it
+    /// answers (the writer echoes it so a v1 client only sees v1 frames).
+    Response(u8, ScanResponse),
+    /// An admin reply body; the writer chunks it
+    /// ([`encode_admin_chunks`]) so chunks of one reply are contiguous on
+    /// the wire however many queries race.
+    Admin { request_id: u64, text: String },
 }
 
 /// One live connection's threads plus a stream clone for half-closing.
@@ -150,12 +173,20 @@ impl NetServer {
         server: LocalizationServer,
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<Self> {
+        // `STONE_TRACE=1` arms stage-span tracing for the whole process at
+        // the moment the wire goes up — the ops-facing switch mirroring
+        // `STONE_PROF` for kernels (in-process callers use
+        // `stone_obs::set_tracing` directly).
+        if std::env::var("STONE_TRACE").is_ok_and(|v| matches!(v.as_str(), "1" | "true")) {
+            stone_obs::set_tracing(true);
+        }
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(NetShared {
             accepting: AtomicBool::new(true),
             stats: NetStats::default(),
             handle: server.handle(),
+            registry: Arc::clone(server.registry()),
             conns: Mutex::new(Vec::new()),
         });
         let accept = {
@@ -292,9 +323,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<NetShared>) {
 fn spawn_connection(stream: TcpStream, shared: &Arc<NetShared>) -> Conn {
     // Response frames are small and latency-sensitive; never Nagle them.
     let _ = stream.set_nodelay(true);
-    // Each queued response carries the protocol version of the request it
-    // answers: the writer echoes it so a v1 client only receives v1 frames.
-    let (tx, rx) = mpsc::channel::<(u8, ScanResponse)>();
+    let (tx, rx) = mpsc::channel::<Outbound>();
     let reader = {
         let stream = stream.try_clone().expect("clone stream");
         let shared = Arc::clone(shared);
@@ -314,12 +343,22 @@ fn spawn_connection(stream: TcpStream, shared: &Arc<NetShared>) -> Conn {
     Conn { stream, reader: Some(reader), writer: Some(writer) }
 }
 
-/// Reads frames off one connection and feeds the server's bounded queue.
-/// Exits on EOF, read error, or an unparseable frame (after queueing a
-/// [`WireStatus::Malformed`] goodbye — framing errors are not recoverable
-/// in-stream).
-fn reader_loop(stream: TcpStream, shared: &Arc<NetShared>, tx: &Sender<(u8, ScanResponse)>) {
+/// Most venues one connection memoizes a [`VenueHandle`] for. Real
+/// connections talk to one venue (a phone is in one building); the cap
+/// just keeps a hostile client cycling venue names from growing the map.
+const VENUE_CACHE_CAP: usize = 64;
+
+/// Reads frames off one connection, routes them by kind — scan requests
+/// feed the server's bounded queue, admin queries are answered from the
+/// telemetry surfaces — and exits on EOF, read error, or an unparseable
+/// frame (after queueing a [`WireStatus::Malformed`] goodbye — framing
+/// errors are not recoverable in-stream).
+fn reader_loop(stream: TcpStream, shared: &Arc<NetShared>, tx: &Sender<Outbound>) {
     let mut reader = BufReader::new(stream);
+    // Per-connection venue-handle cache: the first request for a venue
+    // pays the stats-map read lock, every later one records against the
+    // cached block lock-free (the satellite-1 hot path, wire side).
+    let mut venues: HashMap<String, VenueHandle> = HashMap::new();
     loop {
         let mut len_buf = [0u8; 4];
         if reader.read_exact(&mut len_buf).is_err() {
@@ -337,6 +376,22 @@ fn reader_loop(stream: TcpStream, shared: &Arc<NetShared>, tx: &Sender<(u8, Scan
         if reader.read_exact(&mut payload).is_err() {
             return; // truncated mid-frame: peer gone
         }
+        if matches!(
+            crate::codec::payload_kind(&payload),
+            Some(KIND_STATS_REQUEST | KIND_TRACE_REQUEST)
+        ) {
+            let Ok((query, request_id)) = decode_admin_request(&payload) else {
+                goodbye(shared, tx);
+                return;
+            };
+            shared.stats.admin_requests.fetch_add(1, Ordering::Relaxed);
+            let text = match query {
+                AdminQuery::Stats => stats_text(shared),
+                AdminQuery::Trace => trace_text(),
+            };
+            drop(tx.send(Outbound::Admin { request_id, text }));
+            continue;
+        }
         let (req, version) = match decode_request(&payload) {
             Ok(decoded) => decoded,
             Err(_) => {
@@ -352,29 +407,45 @@ fn reader_loop(stream: TcpStream, shared: &Arc<NetShared>, tx: &Sender<(u8, Scan
         // know the client's send instant); 0 on the wire means none.
         let deadline = (req.deadline_us > 0)
             .then(|| std::time::Duration::from_micros(u64::from(req.deadline_us)));
-        let submitted = shared.handle.try_submit_with_deadline(
-            &req.venue,
-            &req.rssi,
-            deadline,
-            move |result| {
-                let result = match result {
-                    Ok(resp) => Ok(WirePosition {
-                        x: resp.position.x,
-                        y: resp.position.y,
-                        model_version: resp.model_version,
-                    }),
-                    Err(e) => {
-                        let status = WireStatus::from(&e);
-                        if status == WireStatus::Shed {
-                            reply_shared.stats.shed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(status)
+        let reply = move |result: Result<stone_serve::LocateResponse, stone_serve::ServeError>| {
+            let result = match result {
+                Ok(resp) => Ok(WirePosition {
+                    x: resp.position.x,
+                    y: resp.position.y,
+                    model_version: resp.model_version,
+                }),
+                Err(e) => {
+                    let status = WireStatus::from(&e);
+                    if status == WireStatus::Shed {
+                        reply_shared.stats.shed.fetch_add(1, Ordering::Relaxed);
                     }
-                };
-                // The writer being gone (peer vanished) is not an error.
-                drop(reply_tx.send((version, ScanResponse { request_id, result })));
-            },
-        );
+                    Err(status)
+                }
+            };
+            // The writer being gone (peer vanished) is not an error.
+            drop(reply_tx.send(Outbound::Response(version, ScanResponse { request_id, result })));
+        };
+        // A v3 frame's trace id rides through to the executor's stage
+        // spans; 0 (or an older client) lets the server mint its own.
+        let submitted = match venues.get(&req.venue) {
+            Some(vh) => {
+                vh.try_submit_with_deadline_traced(&req.rssi, deadline, req.trace_id, reply)
+            }
+            None if venues.len() < VENUE_CACHE_CAP => {
+                let vh = shared.handle.venue_handle(&req.venue);
+                let r =
+                    vh.try_submit_with_deadline_traced(&req.rssi, deadline, req.trace_id, reply);
+                venues.insert(req.venue.clone(), vh);
+                r
+            }
+            None => shared.handle.try_submit_with_deadline_traced(
+                &req.venue,
+                &req.rssi,
+                deadline,
+                req.trace_id,
+                reply,
+            ),
+        };
         // QueueFull was already answered through the callback (that is the
         // wire-visible shed); only a draining server ends the read loop.
         if matches!(submitted, Err(stone_serve::ServeError::ShuttingDown)) {
@@ -383,13 +454,94 @@ fn reader_loop(stream: TcpStream, shared: &Arc<NetShared>, tx: &Sender<(u8, Scan
     }
 }
 
+/// Renders the full stats surface as one exposition document: the inner
+/// server's counters and histograms, breaker states, published model
+/// versions, the wire front-end's own counters, the global obs registry
+/// (kernel profiling, pool dispatch) and the span ledger.
+fn stats_text(shared: &NetShared) -> String {
+    let mut out = shared.handle.stats().exposition();
+    let breakers = shared.handle.breaker_states();
+    if !breakers.is_empty() {
+        write_type(&mut out, "stone_serve_breaker_state", "gauge");
+        for (venue, state) in &breakers {
+            write_sample(
+                &mut out,
+                "stone_serve_breaker_state",
+                &[("venue", venue)],
+                f64::from(state.as_gauge()),
+            );
+        }
+    }
+    let venues = shared.registry.venues();
+    if !venues.is_empty() {
+        write_type(&mut out, "stone_model_version", "gauge");
+        for venue in &venues {
+            if let Some(entry) = shared.registry.snapshot(venue) {
+                let version = entry.version() as f64;
+                write_sample(&mut out, "stone_model_version", &[("venue", venue)], version);
+            }
+        }
+    }
+    let net = shared.stats.snapshot();
+    let counters = [
+        ("stone_net_connections_accepted_total", net.connections_accepted),
+        ("stone_net_connections_closed_total", net.connections_closed),
+        ("stone_net_requests_decoded_total", net.requests_decoded),
+        ("stone_net_responses_written_total", net.responses_written),
+        ("stone_net_shed_total", net.shed),
+        ("stone_net_malformed_frames_total", net.malformed_frames),
+        ("stone_net_admin_requests_total", net.admin_requests),
+    ];
+    for (name, value) in counters {
+        write_type(&mut out, name, "counter");
+        write_sample(&mut out, name, &[], value as f64);
+    }
+    // The global registry (kernel profiling under STONE_PROF, pool
+    // dispatch) plus the span ledger — CI's opened == closed invariant,
+    // checked over the wire.
+    out.push_str(&stone_obs::dump());
+    let (opened, closed) = stone_obs::span_ledger();
+    write_type(&mut out, "stone_trace_spans_opened_total", "counter");
+    write_sample(&mut out, "stone_trace_spans_opened_total", &[], opened as f64);
+    write_type(&mut out, "stone_trace_spans_closed_total", "counter");
+    write_sample(&mut out, "stone_trace_spans_closed_total", &[], closed as f64);
+    out
+}
+
+/// Most span records one trace query returns (newest kept). Bounds the
+/// reply at roughly a quarter megabyte of text however full the ring is;
+/// the header says when the window clipped.
+const TRACE_DUMP_CAP: usize = 4096;
+
+/// Renders the span ring as text: a `#`-prefixed header with the ledger
+/// and window, then one `trace_id=… stage=… start_us=… dur_us=…` line per
+/// record, oldest first.
+fn trace_text() -> String {
+    let spans = stone_obs::span_snapshot();
+    let (opened, closed) = stone_obs::span_ledger();
+    let skipped = spans.len().saturating_sub(TRACE_DUMP_CAP);
+    let mut out = format!(
+        "# span ring: {} records ({} older clipped), ledger opened={opened} closed={closed}, tracing={}\n",
+        spans.len().min(TRACE_DUMP_CAP),
+        skipped,
+        if stone_obs::tracing_enabled() { "on" } else { "off" },
+    );
+    for s in &spans[skipped..] {
+        out.push_str(&format!(
+            "trace_id={} stage={} start_us={} dur_us={}\n",
+            s.trace_id, s.stage, s.start_us, s.dur_us
+        ));
+    }
+    out
+}
+
 /// Queues the request-id-0 Malformed goodbye that precedes closing a
 /// desynchronized connection. Encoded as the oldest supported protocol
 /// version: a frame that failed to decode carries no trustworthy version
 /// byte, and every client version can parse a v1 response.
-fn goodbye(shared: &NetShared, tx: &Sender<(u8, ScanResponse)>) {
+fn goodbye(shared: &NetShared, tx: &Sender<Outbound>) {
     shared.stats.malformed_frames.fetch_add(1, Ordering::Relaxed);
-    drop(tx.send((
+    drop(tx.send(Outbound::Response(
         crate::codec::MIN_PROTOCOL_VERSION,
         ScanResponse { request_id: 0, result: Err(WireStatus::Malformed) },
     )));
@@ -398,11 +550,11 @@ fn goodbye(shared: &NetShared, tx: &Sender<(u8, ScanResponse)>) {
 /// Writes response frames in the order answers arrive (completion order),
 /// flushing whenever the channel runs momentarily dry so latency never
 /// waits on the buffer filling up.
-fn writer_loop(stream: TcpStream, shared: &Arc<NetShared>, rx: &Receiver<(u8, ScanResponse)>) {
+fn writer_loop(stream: TcpStream, shared: &Arc<NetShared>, rx: &Receiver<Outbound>) {
     let half_close = stream.try_clone();
     let mut writer = BufWriter::new(stream);
-    loop {
-        let (version, resp) = match rx.try_recv() {
+    'outer: loop {
+        let outbound = match rx.try_recv() {
             Ok(resp) => resp,
             Err(TryRecvError::Empty) => {
                 if writer.flush().is_err() {
@@ -415,10 +567,25 @@ fn writer_loop(stream: TcpStream, shared: &Arc<NetShared>, rx: &Receiver<(u8, Sc
             }
             Err(TryRecvError::Disconnected) => break,
         };
-        if writer.write_all(&encode_response(&resp, version)).is_err() {
-            break; // peer gone; pending callbacks tolerate the dead channel
+        match outbound {
+            Outbound::Response(version, resp) => {
+                if writer.write_all(&encode_response(&resp, version)).is_err() {
+                    break; // peer gone; pending callbacks tolerate the dead channel
+                }
+                shared.stats.responses_written.fetch_add(1, Ordering::Relaxed);
+            }
+            // Chunks of one admin reply go out back to back — this thread
+            // is the only writer, so a client can concatenate until `last`
+            // without reordering logic.
+            Outbound::Admin { request_id, text } => {
+                for chunk in encode_admin_chunks(request_id, &text) {
+                    if writer.write_all(&chunk).is_err() {
+                        break 'outer;
+                    }
+                    shared.stats.responses_written.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
-        shared.stats.responses_written.fetch_add(1, Ordering::Relaxed);
     }
     let _ = writer.flush();
     if let Ok(stream) = half_close {

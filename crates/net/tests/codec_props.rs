@@ -23,7 +23,13 @@ fn request_strategy() -> impl Strategy<Value = ScanRequest> {
             (0..venue_len).map(|_| char::from(b'a' + (rng.next() % 26) as u8)).collect();
         let ap_count = (rng.next() % 65) as usize;
         let rssi: Vec<f32> = (0..ap_count).map(|_| f32::from_bits(rng.next())).collect();
-        ScanRequest { request_id: rng.next_u64(), deadline_us: rng.next(), venue, rssi }
+        ScanRequest {
+            request_id: rng.next_u64(),
+            deadline_us: rng.next(),
+            trace_id: rng.next_u64(),
+            venue,
+            rssi,
+        }
     })
 }
 
@@ -75,6 +81,7 @@ proptest! {
         prop_assert_eq!(version, PROTOCOL_VERSION);
         prop_assert_eq!(got.request_id, req.request_id);
         prop_assert_eq!(got.deadline_us, req.deadline_us);
+        prop_assert_eq!(got.trace_id, req.trace_id);
         prop_assert_eq!(&got.venue, &req.venue);
         prop_assert_eq!(bits(&got.rssi), bits(&req.rssi));
     }

@@ -89,6 +89,7 @@ fn faulty_connections_only_hurt_themselves() {
         let frame = encode_request(&ScanRequest {
             request_id: 99,
             deadline_us: 0,
+            trace_id: 0,
             venue: "office".into(),
             rssi: scans[0].clone(),
         })

@@ -76,6 +76,7 @@ fn v1_clients_interoperate_with_v2_server() {
     let frame = encode_request_v1(&ScanRequest {
         request_id: 7,
         deadline_us: 0, // not on the v1 wire
+        trace_id: 0,    // nor this
         venue: "office".into(),
         rssi: scan,
     })

@@ -1,0 +1,39 @@
+//! `stone-obs` — the observability substrate of the STONE reproduction.
+//!
+//! Sits at the very bottom of the workspace DAG (below even `stone-par`)
+//! so every layer — kernels, pool, server, wire — can feed the same three
+//! facilities without a dependency cycle:
+//!
+//! 1. **Request tracing** ([`trace`]): per-request trace IDs plus
+//!    timestamped stage spans (queue wait → collect → snapshot → infer →
+//!    write-back) recorded into a fixed-size lock-free ring buffer of
+//!    plain structs. Disabled by default; when disabled a span record is
+//!    one relaxed atomic load and nothing else.
+//! 2. **Metrics registry + text exposition** ([`metrics`]): named
+//!    counters, gauges and power-of-two histograms rendered in a
+//!    Prometheus-style text format, with a strict parser for round-trip
+//!    tests and remote smoke checks.
+//! 3. **Kernel profiling hooks** ([`prof`]): `STONE_PROF=1`-gated
+//!    per-kernel timing counters (calls, busy µs, work units) that the
+//!    matmul backends and the worker pool feed into the same registry.
+//!
+//! Everything here is `std`-only, dependency-free and `unsafe`-free: the
+//! ring buffer is a seqlock over plain atomics, not a `Box<[UnsafeCell]>`.
+
+pub mod metrics;
+pub mod prof;
+pub mod trace;
+
+pub use metrics::{global, parse_exposition, Counter, Gauge, Histogram, Registry, Sample};
+pub use prof::{prof_enabled, KernelProf};
+pub use trace::{
+    mint_trace_id, record_span, record_span_between, set_tracing, span_ledger, span_snapshot,
+    tracing_enabled, SpanRecord, SpanTimer, Stage,
+};
+
+/// Render the global registry — the one the profiling hooks feed — as
+/// Prometheus-style exposition text. Convenience for examples and admin
+/// endpoints; identical to `global().render()`.
+pub fn dump() -> String {
+    metrics::global().render()
+}

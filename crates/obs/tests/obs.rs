@@ -1,0 +1,100 @@
+//! Cross-module integration tests for `stone-obs`: the span ring under
+//! concurrent writers, the ledger invariant across threads, and a
+//! registry exposition round-trip at realistic size.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use stone_obs::{
+    mint_trace_id, parse_exposition, set_tracing, span_ledger, span_snapshot, Registry, SpanTimer,
+    Stage,
+};
+
+// Tracing state is process-global; the two tracing tests serialize on
+// this lock so their ledger deltas cannot interleave.
+static TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn concurrent_writers_and_reader_never_tear() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_tracing(true);
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let id = mint_trace_id();
+                    // Tag the payload so a torn read is detectable:
+                    // start_us and dur_us always carry the same token.
+                    let token = (w as u64) << 32 | n;
+                    stone_obs::trace::record_span(id, Stage::Infer, token, token);
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+    let deadline = Instant::now() + std::time::Duration::from_millis(100);
+    let mut snapshots = 0u64;
+    while Instant::now() < deadline {
+        for span in span_snapshot() {
+            if span.stage == Stage::Infer && span.trace_id != 0 {
+                assert_eq!(span.start_us, span.dur_us, "torn read: start and dur tokens diverged");
+            }
+        }
+        snapshots += 1;
+    }
+    stop.store(true, Ordering::Relaxed);
+    let written: u64 = writers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(written > 0, "writers made progress");
+    assert!(snapshots > 0, "reader made progress");
+    set_tracing(false);
+}
+
+#[test]
+fn ledger_balances_across_threads() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_tracing(true);
+    let (o0, c0) = span_ledger();
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(|| {
+                for _ in 0..100 {
+                    let id = mint_trace_id();
+                    let t = SpanTimer::start(Stage::QueueWait);
+                    t.finish(id);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let (o1, c1) = span_ledger();
+    assert_eq!(o1 - o0, c1 - c0, "every opened span was closed");
+    assert!(o1 - o0 >= 800);
+    set_tracing(false);
+}
+
+#[test]
+fn realistic_registry_round_trips() {
+    let reg = Registry::new();
+    for v in 0..16 {
+        let venue = format!("venue-{v:02}");
+        reg.counter("stone_serve_enqueued_total", &[("venue", &venue)]).add(v as u64 * 37);
+        reg.gauge("stone_serve_queue_depth", &[("venue", &venue)]).set(v as i64);
+        let h = reg.histogram("stone_serve_latency_us", &[("venue", &venue)]);
+        for i in 0..v {
+            h.observe_us(1 << i);
+        }
+    }
+    let text = reg.render();
+    let samples = parse_exposition(&text).expect("full registry parses");
+    // 16 counters + 16 gauges + per-venue histogram lines (bucket lines
+    // vary, but every venue has at least the +Inf bucket and _count).
+    assert!(samples.len() >= 16 * 4);
+    assert!(samples.iter().any(|s| s.name == "stone_serve_latency_us_count"));
+}

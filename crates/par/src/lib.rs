@@ -12,7 +12,7 @@
 //! * [`par_join`] — run two closures concurrently.
 //!
 //! Since PR 6 the primitives dispatch to a lazily-initialized, **long-lived
-//! worker pool** ([`pool`]: channel-fed per-worker queues, join-barrier
+//! worker pool** (`pool.rs`: channel-fed per-worker queues, join-barrier
 //! completion) instead of spawning scoped threads per region. A fork-join
 //! region now costs ~3 µs instead of ~20–40 µs (`spawn_probe` example),
 //! which is what let the dispatch thresholds above this crate

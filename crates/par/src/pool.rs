@@ -56,10 +56,41 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread;
+use std::time::Instant;
+
+use stone_obs::metrics::Counter;
 
 use crate::WorkerGuard;
+
+/// `STONE_PROF=1` dispatch counters, resolved once. `None` (one cached
+/// bool load) when profiling is off, so the dispatch hot path pays
+/// nothing by default.
+struct PoolProf {
+    /// Fork-join regions dispatched (including single-arm regions).
+    regions: Counter,
+    /// Arms sent to pool worker queues.
+    pooled: Counter,
+    /// Arms run on the calling thread: every region's first arm, plus
+    /// any orphans reclaimed from a racing `shutdown_pool`.
+    inline: Counter,
+}
+
+fn pool_prof() -> Option<&'static PoolProf> {
+    if !stone_obs::prof_enabled() {
+        return None;
+    }
+    static PROF: OnceLock<PoolProf> = OnceLock::new();
+    Some(PROF.get_or_init(|| {
+        let reg = stone_obs::global();
+        PoolProf {
+            regions: reg.counter("stone_pool_regions_total", &[]),
+            pooled: reg.counter("stone_pool_tasks_total", &[("kind", "pooled")]),
+            inline: reg.counter("stone_pool_tasks_total", &[("kind", "inline")]),
+        }
+    }))
+}
 
 /// A borrowing region arm, as built by the fork-join primitives.
 pub(crate) type Task<'a> = Box<dyn FnOnce() + Send + 'a>;
@@ -123,11 +154,23 @@ unsafe fn erase(task: Task<'_>) -> StaticTask {
 /// A worker: block on the queue, run one job, report, repeat. Exits when
 /// the queue disconnects (its generation was torn down), after draining
 /// any jobs still buffered — a sent job is therefore always retired.
-fn worker_loop(rx: &Receiver<Job>) {
+fn worker_loop(rx: &Receiver<Job>, worker_id: usize) {
     // Workers permanently report a budget of 1 (nested calls run inline).
     let _w = WorkerGuard::enter();
+    // Per-worker busy clock, resolved once per worker thread when
+    // STONE_PROF=1 (the label is this worker's id).
+    let busy: Option<Counter> = if stone_obs::prof_enabled() {
+        let id = worker_id.to_string();
+        Some(stone_obs::global().counter("stone_pool_worker_busy_us_total", &[("worker", &id)]))
+    } else {
+        None
+    };
     while let Ok(job) = rx.recv() {
+        let start = busy.as_ref().map(|_| Instant::now());
         let result = catch_unwind(AssertUnwindSafe(job.task));
+        if let (Some(busy), Some(start)) = (&busy, start) {
+            busy.add(start.elapsed().as_micros() as u64);
+        }
         // A region whose caller already unwound (another arm panicked
         // first and the barrier drained without reading) is not an error.
         let _ = job.done.send(result);
@@ -148,7 +191,7 @@ fn spawn_worker(queues: &mut Vec<Sender<Job>>) {
             }
         }
         let _live = Live;
-        worker_loop(&rx);
+        worker_loop(&rx, id);
     });
     if let Err(e) = spawned {
         LIVE_WORKERS.fetch_sub(1, Ordering::SeqCst);
@@ -184,6 +227,10 @@ pub(crate) fn run_region(arms: Vec<Task<'_>>) {
     let Some(first) = arms.next() else { return };
     let remote: Vec<Task<'_>> = arms.collect();
     if remote.is_empty() {
+        if let Some(prof) = pool_prof() {
+            prof.regions.inc();
+            prof.inline.inc();
+        }
         let _w = WorkerGuard::enter();
         first();
         return;
@@ -207,6 +254,12 @@ pub(crate) fn run_region(arms: Vec<Task<'_>>) {
         }
     }
     drop(done_tx); // completions now disconnect once all jobs retire
+
+    if let Some(prof) = pool_prof() {
+        prof.regions.inc();
+        prof.pooled.add(pending as u64);
+        prof.inline.add(1 + orphaned.len() as u64);
+    }
 
     // The caller is its own worker for the first arm (and any orphans);
     // its panic is deferred so the barrier below always runs.

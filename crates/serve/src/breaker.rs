@@ -55,6 +55,44 @@ enum State {
     HalfOpen,
 }
 
+/// A venue breaker's position in the state machine, as reported by
+/// `BreakerSet::snapshot_states` (crate-private) — the read-only view the
+/// admin/stats surfaces expose via `ServerHandle::breaker_states`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Batches execute normally.
+    Closed,
+    /// Batches fast-fail until the cooldown elapses. An Open breaker whose
+    /// cooldown has already elapsed still reports Open here — the
+    /// Open→HalfOpen transition happens on the next *batch admission*, not
+    /// on observation.
+    Open,
+    /// The next batch is a probe deciding re-close vs. re-open.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The state as a metrics gauge value: 0 closed, 1 half-open, 2 open.
+    #[must_use]
+    pub fn as_gauge(self) -> u8 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::HalfOpen => "half_open",
+            BreakerState::Open => "open",
+        })
+    }
+}
+
 /// The per-venue breaker map of one server.
 #[derive(Debug)]
 pub(crate) struct BreakerSet {
@@ -148,6 +186,29 @@ impl BreakerSet {
             }
         }
     }
+
+    /// The current state of every venue breaker, sorted by venue name — a
+    /// pure observation (no lazy Open→HalfOpen transition is applied; that
+    /// belongs to batch admission). Venues never touched by a batch are
+    /// absent.
+    pub(crate) fn snapshot_states(&self) -> Vec<(String, BreakerState)> {
+        let mut out: Vec<(String, BreakerState)> = self
+            .venues
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(venue, slot)| {
+                let state = match *slot.lock().unwrap_or_else(|e| e.into_inner()) {
+                    State::Closed { .. } => BreakerState::Closed,
+                    State::Open { .. } => BreakerState::Open,
+                    State::HalfOpen => BreakerState::HalfOpen,
+                };
+                (venue.clone(), state)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +255,25 @@ mod tests {
             assert!(!set.record_failure("v"));
         }
         assert_eq!(set.admit("v"), Admit::Execute { probe: false });
+    }
+
+    #[test]
+    fn snapshot_states_observe_without_transitioning() {
+        let set = BreakerSet::new(1, Duration::from_millis(10));
+        assert!(set.snapshot_states().is_empty());
+        set.admit("ok");
+        assert!(set.record_failure("bad"));
+        let states = set.snapshot_states();
+        assert_eq!(
+            states,
+            vec![("bad".to_string(), BreakerState::Open), ("ok".to_string(), BreakerState::Closed)]
+        );
+        std::thread::sleep(Duration::from_millis(15));
+        // Observation alone never flips Open→HalfOpen, even past cooldown…
+        assert_eq!(set.snapshot_states()[0].1, BreakerState::Open);
+        // …the next batch admission does.
+        assert_eq!(set.admit("bad"), Admit::Execute { probe: true });
+        assert_eq!(set.snapshot_states()[0].1, BreakerState::HalfOpen);
     }
 
     #[test]

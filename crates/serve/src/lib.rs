@@ -28,9 +28,24 @@
 //!   via [`stone::StoneLocalizer::save`]/`load`
 //!   ([`ModelRegistry::publish_bytes`]).
 //! * [`StatsSnapshot`] — queue depth, a batch-size histogram (the direct
-//!   observability of coalescing) and p50/p99 enqueue→reply latency, in
-//!   aggregate and broken down per venue ([`VenueStatsSnapshot`], which
-//!   also splits shed-by-global-capacity from shed-by-venue-cap).
+//!   observability of coalescing) and p50/p99 enqueue→reply latency
+//!   (rank-interpolated within power-of-two buckets), in aggregate and
+//!   broken down per venue ([`VenueStatsSnapshot`], which also splits
+//!   shed-by-global-capacity from shed-by-venue-cap). Snapshots render as
+//!   Prometheus-style text ([`StatsSnapshot::exposition`]) for the wire
+//!   admin endpoint.
+//!
+//! # Observability
+//!
+//! The crate feeds the `stone-obs` tracing layer: every submit mints (or
+//! carries, for wire requests) a trace ID, and when tracing is enabled
+//! ([`stone_obs::set_tracing`]) each answered request records five
+//! contiguous stage spans — queue wait, collect, snapshot, infer,
+//! write-back — whose durations sum to its end-to-end latency. Hot-path
+//! cost when disabled is one relaxed atomic load per request. Callers that
+//! hammer one venue should use [`ServerHandle::venue_handle`] to skip the
+//! per-request stats-map read lock, and [`ServerHandle::breaker_states`]
+//! exposes each venue's [`BreakerState`] for the admin surfaces.
 //!
 //! # Resilience
 //!
@@ -91,10 +106,12 @@ mod scheduler;
 mod server;
 mod stats;
 
+pub use breaker::BreakerState;
 pub use chaos::{corrupt_blob, ChaosConfig, ChaosFault, ChaosRule};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use server::{
     LocalizationServer, LocateResponse, PendingLocate, ServeError, ServerConfig, ServerHandle,
+    VenueHandle,
 };
 pub use stats::{StatsSnapshot, VenueStatsSnapshot};
 

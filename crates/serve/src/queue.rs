@@ -89,6 +89,10 @@ pub(crate) struct Request {
     /// [`ShardedQueue::collect`] time and answered
     /// [`ServeError::DeadlineExceeded`] without ever reaching the model.
     pub(crate) deadline: Option<Instant>,
+    /// Tracing correlation ID: nonzero when the submitter carried one in
+    /// from the wire or tracing was enabled at submit time, `0` otherwise
+    /// (untraced — the executor records no spans for it).
+    pub(crate) trace_id: u64,
     pub(crate) reply: Reply,
 }
 
@@ -118,6 +122,11 @@ pub(crate) enum Collected {
         /// occupies a batch slot or reaches the model. The executor answers
         /// each with [`ServeError::DeadlineExceeded`].
         expired: Vec<Request>,
+        /// When the executor began draining this batch — the boundary
+        /// between a request's queue-wait span and the collect span
+        /// (requests enqueued *during* the straggler window use their own
+        /// later enqueue instant instead).
+        drained_at: Instant,
     },
     /// The queue is closed and fully drained: the executor exits.
     Closed,
@@ -290,6 +299,7 @@ impl ShardedQueue {
 
         inner.cursor = (idx + 1) % inner.shards.len();
         let venue = inner.shards[idx].venue.clone();
+        let drained_at = Instant::now();
         let mut requests = Vec::new();
         let mut expired = Vec::new();
         let drain = |inner: &mut Inner, requests: &mut Vec<Request>, expired: &mut Vec<Request>| {
@@ -340,7 +350,7 @@ impl ShardedQueue {
                 inner = guard;
             }
         }
-        Collected::Batch { venue, requests, expired }
+        Collected::Batch { venue, requests, expired, drained_at }
     }
 
     /// Unparks executors parked by a paused start. Idempotent.

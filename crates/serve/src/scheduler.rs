@@ -36,27 +36,42 @@
 //!   the half-open probe after the cooldown usually lands on a healthy
 //!   model. Other venues never notice.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
 
+use stone_obs::{record_span_between, Stage};
 use stone_radio::Point2;
 
 use crate::breaker::Admit;
 use crate::queue::{Collected, Request, ShardedQueue};
 use crate::registry::ModelRegistry;
 use crate::server::{LocateResponse, ServeError, ServerConfig, Shared};
+use crate::stats::VenueStats;
 
 /// One executor thread: pull a single-venue batch, execute, reply, repeat —
 /// until the queue closes and drains dry.
+///
+/// Each executor memoizes the venue → stats-block lookups it has done
+/// (`shared.stats.venue` takes the stats map's read lock), so a venue's
+/// steady-state batches record against a locally cached `Arc` — the
+/// executor-side half of the hot-path fix measured in
+/// docs/PERFORMANCE.md (the submit side is [`crate::VenueHandle`]).
 pub(crate) fn executor_loop(
     queue: &ShardedQueue,
     registry: &ModelRegistry,
     shared: &Shared,
     cfg: ServerConfig,
 ) {
+    let mut venue_stats: HashMap<String, Arc<VenueStats>> = HashMap::new();
     loop {
         match queue.collect(cfg.max_batch, cfg.max_wait) {
             Collected::Closed => return,
-            Collected::Batch { venue, requests, expired } => {
+            Collected::Batch { venue, requests, expired, drained_at } => {
+                let vstats = Arc::clone(
+                    venue_stats.entry(venue.clone()).or_insert_with(|| shared.stats.venue(&venue)),
+                );
                 // Last-resort isolation: the model call has its own
                 // catch_unwind below, but nothing anywhere in batch
                 // handling may kill the executor. Requests dropped by a
@@ -65,10 +80,12 @@ pub(crate) fn executor_loop(
                 // ShuttingDown from its Drop impl.
                 let _ = catch_unwind(AssertUnwindSafe(|| {
                     if !expired.is_empty() {
-                        expire_requests(shared, &venue, expired);
+                        expire_requests(shared, &vstats, &venue, expired);
                     }
                     if !requests.is_empty() {
-                        execute_batch(registry, shared, &cfg, &venue, requests);
+                        execute_batch(
+                            registry, shared, &vstats, &cfg, &venue, requests, drained_at,
+                        );
                     }
                 }));
             }
@@ -79,8 +96,7 @@ pub(crate) fn executor_loop(
 /// Answers requests whose deadline passed while they were queued. They are
 /// counted as completions (queue-depth accounting) and as expirations, but
 /// never as a batch — no model was touched.
-fn expire_requests(shared: &Shared, venue: &str, expired: Vec<Request>) {
-    let vstats = shared.stats.venue(venue);
+fn expire_requests(shared: &Shared, vstats: &VenueStats, venue: &str, expired: Vec<Request>) {
     for req in expired {
         let latency = req.enqueued.elapsed();
         shared.stats.record_expired();
@@ -94,8 +110,7 @@ fn expire_requests(shared: &Shared, venue: &str, expired: Vec<Request>) {
 /// Fast-fails a whole batch because the venue's breaker is open: every
 /// request answers [`ServeError::VenueUnavailable`] without the model being
 /// touched.
-fn fast_fail_batch(shared: &Shared, venue: &str, batch: Vec<Request>) {
-    let vstats = shared.stats.venue(venue);
+fn fast_fail_batch(shared: &Shared, vstats: &VenueStats, venue: &str, batch: Vec<Request>) {
     for req in batch {
         let latency = req.enqueued.elapsed();
         vstats.record_fast_failed();
@@ -109,21 +124,35 @@ fn fast_fail_batch(shared: &Shared, venue: &str, batch: Vec<Request>) {
 /// model once (the consistency unit across warm reloads), one
 /// `locate_batch` for every well-formed scan, per-request errors for the
 /// rest — one bad query never takes down a batch, a worker, or the server.
+///
+/// When tracing is enabled, every answered request of the batch gets five
+/// contiguous stage spans whose durations sum to its end-to-end latency:
+/// queue wait (enqueue → drain begin, or zero for a straggler that joined
+/// mid-window), collect (drain begin → batch handed over), snapshot
+/// (breaker admission + registry snapshot), infer (dimension checks + the
+/// model call + result assembly) and write-back (results ready → this
+/// request's reply sent). Expired and fast-failed requests record no
+/// spans — they never ran the pipeline being attributed.
+#[allow(clippy::too_many_lines)]
 fn execute_batch(
     registry: &ModelRegistry,
     shared: &Shared,
+    vstats: &VenueStats,
     cfg: &ServerConfig,
     venue: &str,
     batch: Vec<Request>,
+    drained_at: Instant,
 ) {
+    // Stage boundary: the batch is in the executor's hands from here.
+    let collected_at = Instant::now();
+
     // Breaker admission is per *batch*, before any batch accounting: a
     // fast-failed batch is not a batch the model executed.
     if shared.breakers.admit(venue) == Admit::FastFail {
-        fast_fail_batch(shared, venue, batch);
+        fast_fail_batch(shared, vstats, venue, batch);
         return;
     }
 
-    let vstats = shared.stats.venue(venue);
     shared.stats.record_batch(batch.len());
     vstats.record_batch(batch.len());
 
@@ -131,6 +160,9 @@ fn execute_batch(
     results.resize_with(batch.len(), || None);
 
     let entry = registry.snapshot(venue);
+    // Stage boundary: the model snapshot (the batch's consistency unit)
+    // is pinned; everything after is inference.
+    let snapshotted_at = Instant::now();
     match entry {
         // Unknown venue (never published, or removed with requests still
         // queued): every request fails individually — the regression pinned
@@ -212,6 +244,10 @@ fn execute_batch(
         }
     }
 
+    // Stage boundary: every request's result is decided; what remains is
+    // per-request accounting and reply delivery.
+    let inferred_at = Instant::now();
+
     for (req, result) in batch.into_iter().zip(results) {
         let result = result.expect("every request of the batch is answered");
         // Record completion *before* the reply lands: the moment a client's
@@ -221,6 +257,22 @@ fn execute_batch(
         let latency = req.enqueued.elapsed();
         shared.stats.record_completed(latency);
         vstats.record_completed(latency);
-        req.reply.send(result);
+        if req.trace_id != 0 && stone_obs::tracing_enabled() {
+            let (trace_id, enqueued) = (req.trace_id, req.enqueued);
+            req.reply.send(result);
+            let replied_at = Instant::now();
+            // A straggler that joined during the collect window was
+            // enqueued after the drain began: its queue wait is zero and
+            // its collect span starts at its own (later) enqueue instant,
+            // keeping the five spans contiguous from enqueue to reply.
+            let qw_end = enqueued.max(drained_at);
+            record_span_between(trace_id, Stage::QueueWait, enqueued, qw_end);
+            record_span_between(trace_id, Stage::Collect, qw_end, collected_at);
+            record_span_between(trace_id, Stage::Snapshot, collected_at, snapshotted_at);
+            record_span_between(trace_id, Stage::Infer, snapshotted_at, inferred_at);
+            record_span_between(trace_id, Stage::WriteBack, inferred_at, replied_at);
+        } else {
+            req.reply.send(result);
+        }
     }
 }

@@ -22,12 +22,22 @@ use std::time::{Duration, Instant};
 
 use stone_radio::Point2;
 
-use crate::breaker::BreakerSet;
+use crate::breaker::{BreakerSet, BreakerState};
 use crate::chaos::{ChaosConfig, ChaosState};
 use crate::queue::{Reply, ReplyCallback, Request, ShardedQueue, TryPushError};
 use crate::registry::ModelRegistry;
 use crate::scheduler::executor_loop;
-use crate::stats::{ServerStats, StatsSnapshot};
+use crate::stats::{ServerStats, StatsSnapshot, VenueStats, VenueStatsSnapshot};
+
+/// A fresh trace ID when tracing is enabled, `0` (untraced) otherwise —
+/// the submit-side cost of disabled tracing is this one relaxed load.
+fn fresh_trace_id() -> u64 {
+    if stone_obs::tracing_enabled() {
+        stone_obs::mint_trace_id()
+    } else {
+        0
+    }
+}
 
 /// Why a localization request failed. Always per-request: one bad query
 /// never takes down a batch, a worker, or the server.
@@ -439,6 +449,7 @@ impl ServerHandle {
             rssi: rssi.to_vec(),
             enqueued: now,
             deadline: deadline.map(|d| now + d),
+            trace_id: fresh_trace_id(),
             reply: Reply::Channel(reply),
         };
         (req, rx)
@@ -473,10 +484,22 @@ impl ServerHandle {
         rssi: &[f32],
         deadline: Option<Duration>,
     ) -> Result<PendingLocate, ServeError> {
+        self.submit_deadline_inner(venue, &self.shared.stats.venue(venue), rssi, deadline)
+    }
+
+    /// The shared body of the blocking submits: takes the venue's stats
+    /// block so [`VenueHandle`] can pass its cached `Arc` and skip the
+    /// per-request map lookup.
+    fn submit_deadline_inner(
+        &self,
+        venue: &str,
+        vstats: &VenueStats,
+        rssi: &[f32],
+        deadline: Option<Duration>,
+    ) -> Result<PendingLocate, ServeError> {
         if !self.shared.accepting.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
-        let vstats = self.shared.stats.venue(venue);
         let (req, rx) = self.request(venue, rssi, deadline);
         // Count the request in *before* the push: a fast executor may pull
         // and complete it before this thread runs again, and queue_depth
@@ -517,10 +540,22 @@ impl ServerHandle {
         rssi: &[f32],
         deadline: Option<Duration>,
     ) -> Result<PendingLocate, ServeError> {
+        self.try_submit_deadline_inner(venue, &self.shared.stats.venue(venue), rssi, deadline)
+    }
+
+    /// The shared body of the fail-fast ticket submits (see
+    /// [`ServerHandle::submit_deadline_inner`] for why `vstats` is a
+    /// parameter).
+    fn try_submit_deadline_inner(
+        &self,
+        venue: &str,
+        vstats: &VenueStats,
+        rssi: &[f32],
+        deadline: Option<Duration>,
+    ) -> Result<PendingLocate, ServeError> {
         if !self.shared.accepting.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
-        let vstats = self.shared.stats.venue(venue);
         let (req, rx) = self.request(venue, rssi, deadline);
         // Same enqueue-before-push ordering as `submit`.
         self.shared.stats.record_enqueued();
@@ -593,18 +628,71 @@ impl ServerHandle {
     where
         F: FnOnce(Result<LocateResponse, ServeError>) + Send + 'static,
     {
+        self.try_submit_with_deadline_traced(venue, rssi, deadline, 0, reply)
+    }
+
+    /// [`ServerHandle::try_submit_with_deadline`] carrying an explicit
+    /// trace ID — the submit path a wire front-end uses to correlate a
+    /// request's stage spans with the client that sent it. `trace_id = 0`
+    /// means "untraced caller": a fresh ID is minted when tracing is
+    /// enabled server-side, and the request stays untraced otherwise. A
+    /// nonzero ID (a v3 wire frame's `trace_id` field) is carried through
+    /// verbatim, so spans recorded here can be joined with client-side
+    /// timings by ID.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`], [`ServeError::VenueQueueFull`] or
+    /// [`ServeError::ShuttingDown`]; the callback has already been invoked
+    /// with the same error.
+    pub fn try_submit_with_deadline_traced<F>(
+        &self,
+        venue: &str,
+        rssi: &[f32],
+        deadline: Option<Duration>,
+        trace_id: u64,
+        reply: F,
+    ) -> Result<(), ServeError>
+    where
+        F: FnOnce(Result<LocateResponse, ServeError>) + Send + 'static,
+    {
+        self.try_submit_with_deadline_traced_inner(
+            venue,
+            &self.shared.stats.venue(venue),
+            rssi,
+            deadline,
+            trace_id,
+            reply,
+        )
+    }
+
+    /// The shared body of the callback submits (see
+    /// [`ServerHandle::submit_deadline_inner`] for why `vstats` is a
+    /// parameter).
+    fn try_submit_with_deadline_traced_inner<F>(
+        &self,
+        venue: &str,
+        vstats: &VenueStats,
+        rssi: &[f32],
+        deadline: Option<Duration>,
+        trace_id: u64,
+        reply: F,
+    ) -> Result<(), ServeError>
+    where
+        F: FnOnce(Result<LocateResponse, ServeError>) + Send + 'static,
+    {
         let cb = ReplyCallback::new(Box::new(reply));
         if !self.shared.accepting.load(Ordering::SeqCst) {
             cb.call(Err(ServeError::ShuttingDown));
             return Err(ServeError::ShuttingDown);
         }
-        let vstats = self.shared.stats.venue(venue);
         let now = Instant::now();
         let req = Request {
             venue: venue.to_string(),
             rssi: rssi.to_vec(),
             enqueued: now,
             deadline: deadline.map(|d| now + d),
+            trace_id: if trace_id != 0 { trace_id } else { fresh_trace_id() },
             reply: Reply::Callback(cb),
         };
         // Same enqueue-before-push ordering as `submit`.
@@ -683,6 +771,191 @@ impl ServerHandle {
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// The current [`BreakerState`] of every venue a batch has touched,
+    /// sorted by venue name — a pure observation (see
+    /// [`BreakerState::Open`] for the non-transition caveat). What the
+    /// wire admin endpoint exposes as the `stone_serve_breaker_state`
+    /// gauge.
+    #[must_use]
+    pub fn breaker_states(&self) -> Vec<(String, BreakerState)> {
+        self.shared.breakers.snapshot_states()
+    }
+
+    /// A handle pinned to one venue that caches the venue's stats block.
+    ///
+    /// Every plain submit pays one `RwLock` read + `Arc` clone on the
+    /// shared per-venue stats map; a [`VenueHandle`] pays it **once, here**,
+    /// and every subsequent submit records against the cached block
+    /// lock-free. This is the hot-path handle for callers that send many
+    /// requests to the same venue — a wire connection, a loadgen worker
+    /// (the before/after is measured in docs/PERFORMANCE.md).
+    #[must_use]
+    pub fn venue_handle(&self, venue: &str) -> VenueHandle {
+        VenueHandle {
+            vstats: self.shared.stats.venue(venue),
+            venue: venue.to_string(),
+            handle: self.clone(),
+        }
+    }
+}
+
+/// A [`ServerHandle`] pinned to one venue, holding the venue's stats block
+/// so submits skip the per-request stats-map read lock (see
+/// [`ServerHandle::venue_handle`]). Cloneable; clones share the cache.
+#[derive(Clone)]
+pub struct VenueHandle {
+    handle: ServerHandle,
+    venue: String,
+    vstats: Arc<VenueStats>,
+}
+
+impl VenueHandle {
+    /// The venue this handle is pinned to.
+    #[must_use]
+    pub fn venue(&self) -> &str {
+        &self.venue
+    }
+
+    /// [`ServerHandle::submit`] against the pinned venue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShuttingDown`] when the server no longer
+    /// accepts requests.
+    pub fn submit(&self, rssi: &[f32]) -> Result<PendingLocate, ServeError> {
+        self.submit_deadline(rssi, None)
+    }
+
+    /// [`ServerHandle::submit_deadline`] against the pinned venue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShuttingDown`] when the server no longer
+    /// accepts requests.
+    pub fn submit_deadline(
+        &self,
+        rssi: &[f32],
+        deadline: Option<Duration>,
+    ) -> Result<PendingLocate, ServeError> {
+        self.handle.submit_deadline_inner(&self.venue, &self.vstats, rssi, deadline)
+    }
+
+    /// [`ServerHandle::try_submit`] against the pinned venue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`], [`ServeError::VenueQueueFull`] or
+    /// [`ServeError::ShuttingDown`].
+    pub fn try_submit(&self, rssi: &[f32]) -> Result<PendingLocate, ServeError> {
+        self.try_submit_deadline(rssi, None)
+    }
+
+    /// [`ServerHandle::try_submit_deadline`] against the pinned venue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`], [`ServeError::VenueQueueFull`] or
+    /// [`ServeError::ShuttingDown`].
+    pub fn try_submit_deadline(
+        &self,
+        rssi: &[f32],
+        deadline: Option<Duration>,
+    ) -> Result<PendingLocate, ServeError> {
+        self.handle.try_submit_deadline_inner(&self.venue, &self.vstats, rssi, deadline)
+    }
+
+    /// [`ServerHandle::try_submit_with_deadline`] against the pinned venue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`], [`ServeError::VenueQueueFull`] or
+    /// [`ServeError::ShuttingDown`]; the callback has already been invoked
+    /// with the same error.
+    pub fn try_submit_with_deadline<F>(
+        &self,
+        rssi: &[f32],
+        deadline: Option<Duration>,
+        reply: F,
+    ) -> Result<(), ServeError>
+    where
+        F: FnOnce(Result<LocateResponse, ServeError>) + Send + 'static,
+    {
+        self.try_submit_with_deadline_traced(rssi, deadline, 0, reply)
+    }
+
+    /// [`ServerHandle::try_submit_with_deadline_traced`] against the pinned
+    /// venue — the per-connection hot path of the wire front-end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::QueueFull`], [`ServeError::VenueQueueFull`] or
+    /// [`ServeError::ShuttingDown`]; the callback has already been invoked
+    /// with the same error.
+    pub fn try_submit_with_deadline_traced<F>(
+        &self,
+        rssi: &[f32],
+        deadline: Option<Duration>,
+        trace_id: u64,
+        reply: F,
+    ) -> Result<(), ServeError>
+    where
+        F: FnOnce(Result<LocateResponse, ServeError>) + Send + 'static,
+    {
+        self.handle.try_submit_with_deadline_traced_inner(
+            &self.venue,
+            &self.vstats,
+            rssi,
+            deadline,
+            trace_id,
+            reply,
+        )
+    }
+
+    /// [`ServerHandle::locate`] against the pinned venue.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`] except `QueueFull`/`VenueQueueFull` (a full queue
+    /// blocks instead).
+    pub fn locate(&self, rssi: &[f32]) -> Result<LocateResponse, ServeError> {
+        self.submit(rssi)?.wait()
+    }
+
+    /// [`ServerHandle::locate_deadline`] against the pinned venue.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`] except `QueueFull`/`VenueQueueFull`;
+    /// [`ServeError::DeadlineExceeded`] when the budget elapsed first.
+    pub fn locate_deadline(
+        &self,
+        rssi: &[f32],
+        deadline: Duration,
+    ) -> Result<LocateResponse, ServeError> {
+        self.submit_deadline(rssi, Some(deadline))?.wait()
+    }
+
+    /// [`ServerHandle::try_locate`] against the pinned venue.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`], including `QueueFull`/`VenueQueueFull`.
+    pub fn try_locate(&self, rssi: &[f32]) -> Result<LocateResponse, ServeError> {
+        self.try_submit(rssi)?.wait()
+    }
+
+    /// A point-in-time copy of the pinned venue's counters.
+    #[must_use]
+    pub fn stats(&self) -> VenueStatsSnapshot {
+        self.vstats.snapshot(&self.venue)
+    }
+}
+
+impl std::fmt::Debug for VenueHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VenueHandle({:?})", self.venue)
     }
 }
 

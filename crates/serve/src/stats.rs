@@ -16,17 +16,25 @@
 //!
 //! Latencies land in power-of-two microsecond buckets (bucket `i` holds
 //! `[2^i, 2^(i+1))` µs), which bounds the memory at a fixed 40 counters
-//! regardless of traffic volume; a reported percentile is the upper edge of
-//! its bucket, i.e. exact to within 2×.
+//! regardless of traffic volume; a reported percentile is interpolated
+//! within its bucket by rank (see [`hist_quantile`] for the error bound).
+//!
+//! Snapshots also render as Prometheus-style exposition text
+//! ([`StatsSnapshot::exposition`]) using the shared `stone-obs` format
+//! helpers, so the wire admin endpoint, the loadgen and any scrape
+//! tooling all read one canonical shape.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
+use stone_obs::metrics::{write_pow2_histogram, write_sample, write_type, HIST_BUCKETS};
+
 /// Number of power-of-two latency buckets (2^39 µs ≈ 6.4 days — anything
-/// above clamps into the last bucket).
-const LATENCY_BUCKETS: usize = 40;
+/// above clamps into the last bucket). Pinned to the `stone-obs` histogram
+/// width so snapshots render through the shared exposition helpers.
+const LATENCY_BUCKETS: usize = HIST_BUCKETS;
 
 /// Index of the power-of-two microsecond bucket a latency falls into.
 fn latency_bucket(latency: Duration) -> usize {
@@ -34,8 +42,28 @@ fn latency_bucket(latency: Duration) -> usize {
     (63 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
 }
 
-/// The `q`-quantile of a power-of-two bucket histogram, resolved to the
-/// upper edge of its bucket. Shared by the aggregate and per-venue views.
+/// The `q`-quantile of a power-of-two bucket histogram, interpolated
+/// within the bucket by rank. Shared by the aggregate and per-venue views.
+///
+/// The decisive request has rank `ceil(q · total)`, clamped to
+/// `[1, total]` — so `q = 0` resolves to the fastest recorded request and
+/// `q = 1` to the slowest. If that rank is the `k`-th of the `c` requests
+/// in bucket `[2^i, 2^(i+1))` µs, the estimate places it linearly within
+/// the bucket: `2^i · (1 + k/c)` µs — the expected position of that order
+/// statistic under a uniform-within-bucket assumption. With `k = c` this
+/// degenerates to the bucket's upper edge, the pre-interpolation answer.
+///
+/// # Error bound
+///
+/// The true rank-`k` latency lies in `[2^i, 2^(i+1))` and the estimate in
+/// `(2^i, 2^(i+1)]`, so the absolute error is strictly less than the
+/// bucket width `2^i` µs — the estimate is always within **2×** of the
+/// true value, the same hard bound the old upper-edge rule had. What
+/// interpolation buys: distinct quantiles inside one bucket resolve to
+/// distinct, rank-ordered values instead of all pinning to the upper
+/// edge, and under the uniform assumption the *expected* absolute error
+/// halves. Latencies at or above `2^39` µs (~6.4 days) clamp into the top
+/// bucket and interpolate toward its `2^40` µs upper edge.
 fn hist_quantile(hist: &[u64], q: f64) -> Option<Duration> {
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
     let total: u64 = hist.iter().sum();
@@ -48,10 +76,25 @@ fn hist_quantile(hist: &[u64], q: f64) -> Option<Duration> {
     for (i, &c) in hist.iter().enumerate() {
         seen += c;
         if seen >= rank {
-            return Some(Duration::from_micros(1u64 << (i + 1)));
+            // Bucket width equals its lower edge (2^i µs); `k` is the
+            // rank's 1-based position among this bucket's occupants.
+            let lower_us = (1u64 << i) as f64;
+            let k = (rank - (seen - c)) as f64;
+            let est_us = lower_us * (1.0 + k / c as f64);
+            return Some(Duration::from_nanos((est_us * 1_000.0).round() as u64));
         }
     }
     unreachable!("rank <= total by construction")
+}
+
+/// Copies a snapshot's latency histogram into the fixed-width array the
+/// `stone-obs` exposition helpers take.
+fn hist_array(hist: &[u64]) -> [u64; HIST_BUCKETS] {
+    let mut out = [0u64; HIST_BUCKETS];
+    for (o, &c) in out.iter_mut().zip(hist) {
+        *o = c;
+    }
+    out
 }
 
 /// Mean batch size of a `batch_hist[s - 1] = count` histogram.
@@ -156,7 +199,7 @@ impl VenueStats {
         self.latency_hist[latency_bucket(latency)].fetch_add(1, Ordering::Relaxed);
     }
 
-    fn snapshot(&self, venue: &str) -> VenueStatsSnapshot {
+    pub(crate) fn snapshot(&self, venue: &str) -> VenueStatsSnapshot {
         VenueStatsSnapshot {
             venue: venue.to_string(),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
@@ -351,8 +394,10 @@ impl VenueStatsSnapshot {
     }
 
     /// The `q`-quantile (`0.0..=1.0`) of this venue's enqueue→reply
-    /// latency, resolved to the upper edge of its power-of-two microsecond
-    /// bucket. Returns `None` when no request completed yet.
+    /// latency, rank-interpolated within its power-of-two microsecond
+    /// bucket (within 2× of the true value in the worst case; see the
+    /// module docs for the full error bound). Returns `None` when no
+    /// request completed yet.
     ///
     /// # Panics
     ///
@@ -431,8 +476,10 @@ impl StatsSnapshot {
     }
 
     /// The `q`-quantile (`0.0..=1.0`) of the enqueue→reply latency,
-    /// resolved to the upper edge of its power-of-two microsecond bucket
-    /// (exact to within 2×). Returns `None` when no request completed yet.
+    /// rank-interpolated within its power-of-two microsecond bucket
+    /// (within 2× of the true value in the worst case; see the module docs
+    /// for the full error bound). Returns `None` when no request completed
+    /// yet.
     ///
     /// # Panics
     ///
@@ -453,6 +500,117 @@ impl StatsSnapshot {
     #[must_use]
     pub fn p99(&self) -> Option<Duration> {
         self.latency_quantile(0.99)
+    }
+
+    /// Renders this snapshot as Prometheus-style exposition text via the
+    /// shared `stone-obs` format helpers.
+    ///
+    /// Aggregate series carry no labels; per-venue series carry
+    /// `venue="..."` and the shed breakdown adds `cause="global"|"venue"`.
+    /// The output round-trips through [`stone_obs::parse_exposition`] —
+    /// pinned by a unit test here and re-checked over the wire by the
+    /// loadgen admin smoke.
+    #[must_use]
+    pub fn exposition(&self) -> String {
+        type VenueVal = fn(&VenueStatsSnapshot) -> u64;
+        let mut out = String::new();
+
+        write_type(&mut out, "stone_serve_queue_depth", "gauge");
+        write_sample(&mut out, "stone_serve_queue_depth", &[], self.queue_depth as f64);
+        for v in &self.venues {
+            write_sample(
+                &mut out,
+                "stone_serve_queue_depth",
+                &[("venue", &v.venue)],
+                v.queue_depth as f64,
+            );
+        }
+
+        let counters: [(&str, u64, Option<VenueVal>); 6] = [
+            ("stone_serve_enqueued_total", self.enqueued, Some(|v| v.enqueued)),
+            ("stone_serve_completed_total", self.completed, Some(|v| v.completed)),
+            ("stone_serve_rejected_total", self.rejected, None),
+            ("stone_serve_expired_total", self.expired, Some(|v| v.expired)),
+            (
+                "stone_serve_panicked_batches_total",
+                self.panicked_batches,
+                Some(|v| v.panicked_batches),
+            ),
+            ("stone_serve_batches_total", self.batches(), Some(VenueStatsSnapshot::batches)),
+        ];
+        for (name, agg, venue_val) in counters {
+            write_type(&mut out, name, "counter");
+            write_sample(&mut out, name, &[], agg as f64);
+            if let Some(f) = venue_val {
+                for v in &self.venues {
+                    write_sample(&mut out, name, &[("venue", &v.venue)], f(v) as f64);
+                }
+            }
+        }
+
+        write_type(&mut out, "stone_serve_shed_total", "counter");
+        for v in &self.venues {
+            write_sample(
+                &mut out,
+                "stone_serve_shed_total",
+                &[("venue", &v.venue), ("cause", "global")],
+                v.shed_global as f64,
+            );
+            write_sample(
+                &mut out,
+                "stone_serve_shed_total",
+                &[("venue", &v.venue), ("cause", "venue")],
+                v.shed_venue as f64,
+            );
+        }
+        write_type(&mut out, "stone_serve_breaker_trips_total", "counter");
+        for v in &self.venues {
+            write_sample(
+                &mut out,
+                "stone_serve_breaker_trips_total",
+                &[("venue", &v.venue)],
+                v.breaker_trips as f64,
+            );
+        }
+        write_type(&mut out, "stone_serve_fast_failed_total", "counter");
+        for v in &self.venues {
+            write_sample(
+                &mut out,
+                "stone_serve_fast_failed_total",
+                &[("venue", &v.venue)],
+                v.fast_failed as f64,
+            );
+        }
+
+        write_type(&mut out, "stone_serve_mean_batch_size", "gauge");
+        write_sample(&mut out, "stone_serve_mean_batch_size", &[], self.mean_batch_size());
+        for v in &self.venues {
+            write_sample(
+                &mut out,
+                "stone_serve_mean_batch_size",
+                &[("venue", &v.venue)],
+                v.mean_batch_size(),
+            );
+        }
+
+        write_type(&mut out, "stone_serve_latency_us", "histogram");
+        write_pow2_histogram(
+            &mut out,
+            "stone_serve_latency_us",
+            &[],
+            &hist_array(&self.latency_hist),
+            None,
+        );
+        for v in &self.venues {
+            write_pow2_histogram(
+                &mut out,
+                "stone_serve_latency_us",
+                &[("venue", &v.venue)],
+                &hist_array(&v.latency_hist),
+                None,
+            );
+        }
+        out
     }
 }
 
@@ -488,7 +646,7 @@ mod tests {
     }
 
     #[test]
-    fn latency_quantiles_resolve_to_bucket_edges() {
+    fn latency_quantiles_interpolate_within_buckets() {
         let stats = ServerStats::new(1);
         // 99 fast requests (~8 µs bucket [8, 16)), 1 slow (~1024 µs).
         for _ in 0..99 {
@@ -496,10 +654,82 @@ mod tests {
         }
         stats.record_completed(Duration::from_micros(1500));
         let snap = stats.snapshot();
-        assert_eq!(snap.p50(), Some(Duration::from_micros(16)));
-        // Rank ceil(0.99 * 100) = 99 — still in the fast bucket.
+        // Rank ceil(0.5 * 100) = 50, the 50th of 99 bucket occupants:
+        // 8 µs · (1 + 50/99) = 12040.40… ns.
+        assert_eq!(snap.p50(), Some(Duration::from_nanos(12040)));
+        // Rank ceil(0.99 * 100) = 99 — the last occupant of the fast
+        // bucket, so the estimate degenerates to its 16 µs upper edge.
         assert_eq!(snap.p99(), Some(Duration::from_micros(16)));
         assert_eq!(snap.latency_quantile(1.0), Some(Duration::from_micros(2048)));
+    }
+
+    #[test]
+    fn extreme_quantiles_clamp_to_first_and_last_rank() {
+        let stats = ServerStats::new(1);
+        // Four records in the [8, 16) µs bucket.
+        for _ in 0..4 {
+            stats.record_completed(Duration::from_micros(9));
+        }
+        let snap = stats.snapshot();
+        // q = 0 → rank clamps to 1 of 4: 8 µs · (1 + 1/4) = 10 µs.
+        assert_eq!(snap.latency_quantile(0.0), Some(Duration::from_micros(10)));
+        // q = 1 → rank 4 of 4: the bucket's 16 µs upper edge.
+        assert_eq!(snap.latency_quantile(1.0), Some(Duration::from_micros(16)));
+    }
+
+    #[test]
+    fn absurd_latencies_clamp_into_top_bucket() {
+        let stats = ServerStats::new(1);
+        // ~116 days — far beyond the 2^39 µs last bucket's lower edge.
+        stats.record_completed(Duration::from_secs(10_000_000));
+        let snap = stats.snapshot();
+        assert_eq!(snap.latency_hist[LATENCY_BUCKETS - 1], 1);
+        // Sole occupant interpolates to the top bucket's 2^40 µs upper edge.
+        assert_eq!(snap.latency_quantile(1.0), Some(Duration::from_micros(1 << 40)));
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_obs_parser() {
+        let stats = ServerStats::new(4);
+        stats.record_enqueued();
+        stats.record_enqueued();
+        stats.record_batch(2);
+        stats.record_completed(Duration::from_micros(9));
+        stats.record_completed(Duration::from_micros(1500));
+        stats.record_rejected();
+        let v = stats.venue("hall-a");
+        v.record_enqueued();
+        v.record_batch(1);
+        v.record_completed(Duration::from_micros(9));
+        v.record_shed_venue();
+        v.record_breaker_trip();
+
+        let text = stats.snapshot().exposition();
+        let samples = stone_obs::parse_exposition(&text).expect("exposition parses");
+        let find = |name: &str, labels: &[(&str, &str)]| -> f64 {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && s.labels.len() == labels.len()
+                        && s.labels.iter().zip(labels).all(|((k, v), (ek, ev))| k == ek && v == ev)
+                })
+                .unwrap_or_else(|| panic!("sample {name}{labels:?} missing"))
+                .value
+        };
+        assert_eq!(find("stone_serve_enqueued_total", &[]), 2.0);
+        assert_eq!(find("stone_serve_completed_total", &[]), 2.0);
+        assert_eq!(find("stone_serve_rejected_total", &[]), 1.0);
+        assert_eq!(find("stone_serve_batches_total", &[]), 1.0);
+        assert_eq!(find("stone_serve_mean_batch_size", &[]), 2.0);
+        assert_eq!(find("stone_serve_enqueued_total", &[("venue", "hall-a")]), 1.0);
+        assert_eq!(find("stone_serve_shed_total", &[("venue", "hall-a"), ("cause", "venue")]), 1.0);
+        assert_eq!(find("stone_serve_breaker_trips_total", &[("venue", "hall-a")]), 1.0);
+        // Histogram lines are cumulative: both aggregate completions are
+        // under the +Inf bucket, only the fast one under le="16".
+        assert_eq!(find("stone_serve_latency_us_count", &[]), 2.0);
+        assert_eq!(find("stone_serve_latency_us_bucket", &[("le", "+Inf")]), 2.0);
+        assert_eq!(find("stone_serve_latency_us_bucket", &[("le", "16")]), 1.0);
     }
 
     #[test]

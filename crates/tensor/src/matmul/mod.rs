@@ -56,9 +56,30 @@ mod simd;
 pub use microkernel::{fma_available, simd_available, with_backend, MatmulBackend};
 pub use reference::{matmul_a_bt_scalar, matmul_at_b_scalar, matmul_scalar};
 
+use std::sync::OnceLock;
+
 use microkernel::{LANES, TILE_ROWS};
+use stone_obs::prof::{maybe_start, KernelProf};
 
 use crate::Tensor;
+
+/// Per-kernel `STONE_PROF=1` timing: counters are resolved once per
+/// dispatcher and fed only when profiling is enabled (`start` is `None`
+/// otherwise — one cached bool load on the default path).
+fn prof_record(
+    slot: &'static OnceLock<KernelProf>,
+    name: &'static str,
+    start: Option<std::time::Instant>,
+    macs: usize,
+) {
+    if let Some(start) = start {
+        slot.get_or_init(|| KernelProf::register(name)).record(start, macs as u64);
+    }
+}
+
+static MM_PROF: OnceLock<KernelProf> = OnceLock::new();
+static MM_AT_B_PROF: OnceLock<KernelProf> = OnceLock::new();
+static MM_A_BT_PROF: OnceLock<KernelProf> = OnceLock::new();
 
 /// Multiply-accumulate count (`m·k·n`) below which the dispatchers stay
 /// serial. Re-derived against the worker pool (PR 6): one fork-join
@@ -219,18 +240,20 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     if c.is_empty() || k == 0 {
         return c; // empty output, or an empty sum: all zeros
     }
+    let prof = maybe_start();
     if m < TILE_MIN_ROWS {
         dispatch(&mut c, worth_threads(m * k * n), |block, r0| mm_narrow(a, b, block, r0));
-        return c;
-    }
-    let bpack = pack::PackedPanels::from_rows(b.as_slice(), k, n);
-    let backend = microkernel::active_backend();
-    let ad = a.as_slice();
-    dispatch(&mut c, worth_threads(m * k * n), |block, r0| {
-        tiled_block(block, n, r0, k, &bpack, backend, |row0, width, buf| {
-            pack::pack_width_major(ad, k, row0, width, buf);
+    } else {
+        let bpack = pack::PackedPanels::from_rows(b.as_slice(), k, n);
+        let backend = microkernel::active_backend();
+        let ad = a.as_slice();
+        dispatch(&mut c, worth_threads(m * k * n), |block, r0| {
+            tiled_block(block, n, r0, k, &bpack, backend, |row0, width, buf| {
+                pack::pack_width_major(ad, k, row0, width, buf);
+            });
         });
-    });
+    }
+    prof_record(&MM_PROF, "matmul", prof, m * k * n);
     c
 }
 
@@ -263,19 +286,21 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     if c.is_empty() || m == 0 {
         return c; // empty output, or an empty sum: all zeros
     }
+    let prof = maybe_start();
     if m < TILE_MIN_ROWS {
         dispatch(&mut c, worth_threads(m * k * n), |block, p0| mm_at_b_narrow(a, b, block, p0));
-        return c;
-    }
-    // Output rows are columns of A; the inner dimension is m.
-    let bpack = pack::PackedPanels::from_rows(b.as_slice(), m, n);
-    let backend = microkernel::active_backend();
-    let ad = a.as_slice();
-    dispatch(&mut c, worth_threads(m * k * n), |block, p0| {
-        tiled_block(block, n, p0, m, &bpack, backend, |col0, width, buf| {
-            pack::pack_step_major(ad, k, col0, width, buf);
+    } else {
+        // Output rows are columns of A; the inner dimension is m.
+        let bpack = pack::PackedPanels::from_rows(b.as_slice(), m, n);
+        let backend = microkernel::active_backend();
+        let ad = a.as_slice();
+        dispatch(&mut c, worth_threads(m * k * n), |block, p0| {
+            tiled_block(block, n, p0, m, &bpack, backend, |col0, width, buf| {
+                pack::pack_step_major(ad, k, col0, width, buf);
+            });
         });
-    });
+    }
+    prof_record(&MM_AT_B_PROF, "matmul_at_b", prof, m * k * n);
     c
 }
 
@@ -309,19 +334,21 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     if c.is_empty() || k == 0 {
         return c; // empty output, or an empty sum: all zeros
     }
+    let prof = maybe_start();
     if m < TILE_MIN_ROWS {
         dispatch(&mut c, worth_threads(m * k * n), |block, r0| mm_a_bt_narrow(a, b, block, r0));
-        return c;
-    }
-    // Rows of B are output columns; packing fuses the transpose.
-    let bpack = pack::PackedPanels::from_transposed_rows(b.as_slice(), k, n);
-    let backend = microkernel::active_backend();
-    let ad = a.as_slice();
-    dispatch(&mut c, worth_threads(m * k * n), |block, r0| {
-        tiled_block(block, n, r0, k, &bpack, backend, |row0, width, buf| {
-            pack::pack_width_major(ad, k, row0, width, buf);
+    } else {
+        // Rows of B are output columns; packing fuses the transpose.
+        let bpack = pack::PackedPanels::from_transposed_rows(b.as_slice(), k, n);
+        let backend = microkernel::active_backend();
+        let ad = a.as_slice();
+        dispatch(&mut c, worth_threads(m * k * n), |block, r0| {
+            tiled_block(block, n, r0, k, &bpack, backend, |row0, width, buf| {
+                pack::pack_width_major(ad, k, row0, width, buf);
+            });
         });
-    });
+    }
+    prof_record(&MM_A_BT_PROF, "matmul_a_bt", prof, m * k * n);
     c
 }
 

@@ -2,10 +2,14 @@
 //!
 //! **Act 1 (in-process baseline):** N closed-loop client threads fire
 //! single-scan queries straight at a [`LocalizationServer`], once with
-//! batching disabled (`max_batch = 1`) and once with coalescing on — the
-//! pair of numbers behind the serving table in `docs/PERFORMANCE.md`. The
+//! batching disabled (`max_batch = 1`), once with coalescing on — the
+//! pair of numbers behind the serving table in `docs/PERFORMANCE.md` (the
 //! coalesced pass also hot-swaps a retrained model mid-run to show warm
-//! reload under load.
+//! reload under load) — and once more with **stage-span tracing enabled**:
+//! the traced pass prints a per-stage latency-attribution table (queue
+//! wait → collect → snapshot → infer → write-back), checks it against the
+//! server's end-to-end histogram, and its wall-time delta vs the untraced
+//! coalesced pass is the measured tracing overhead.
 //!
 //! **Act 2 (fleet over TCP):** the same registry goes behind a
 //! [`NetServer`] on loopback, and a fleet of `LOADGEN_VENUES ×
@@ -15,7 +19,11 @@
 //! `stone-radio` measurement models (chipset offsets, detection
 //! thresholds, integer quantization). Reported per venue: throughput,
 //! p50/p99 wire latency, shed and timeout counts — backpressure is supposed
-//! to be visible here, not a panic.
+//! to be visible here, not a panic. Requests carry their trace ids on the
+//! v3 wire, so the fleet pass ends with another per-stage table, plus an
+//! **admin stats fetch over TCP** whose exposition text must parse
+//! strictly and whose span ledger must balance (opened == closed) — the
+//! CI smoke contract.
 //!
 //! Run with: `cargo run --release --example loadgen`
 //!
@@ -25,8 +33,9 @@
 //! `LOADGEN_DEADLINE_MS` (per-request deadline budget on the wire, 0 =
 //! none) and `LOADGEN_RETRIES` (re-sends a shed request up to N times —
 //! the `retried` column and the reported retry amplification make a
-//! retry storm visible instead of silent); `STONE_THREADS` for the kernel
-//! thread budget. With `STONE_CHAOS` set (see `stone_serve::ChaosConfig`)
+//! retry storm visible instead of silent); `LOADGEN_TRACE=0` turns
+//! tracing off for the fleet act (the act-1 traced pass always traces);
+//! `STONE_THREADS` for the kernel thread budget. With `STONE_CHAOS` set (see `stone_serve::ChaosConfig`)
 //! the spawned act-2 server injects faults, turning the fleet run into a
 //! chaos smoke: failed requests must show up in the `expired` / `error`
 //! columns, never as hangs.
@@ -41,6 +50,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use stone_repro::dataset::{office_suite, MISSING_RSSI_DBM};
 use stone_repro::net::{codec::fmt_latency, ClientError, NetClient, NetServer, WireStatus};
+use stone_repro::obs::{
+    mint_trace_id, parse_exposition, set_tracing, span_snapshot, Sample, SpanRecord, Stage,
+};
 use stone_repro::prelude::*;
 use stone_repro::radio::DeviceModel;
 use stone_repro::serve::StatsSnapshot;
@@ -113,6 +125,106 @@ fn run_pass(
     let stats = server.stats();
     server.shutdown();
     PassResult { label, wall, stats, answered }
+}
+
+// --------------------------------------------------------------- tracing --
+
+/// Per-stage duration samples over the complete (all-five-stage) traces
+/// whose ids fall strictly inside a minted-id bracket, plus their
+/// five-stage sums — the end-to-end latency each trace attributes.
+struct StageBreakdown {
+    traces: usize,
+    /// Sorted µs samples per stage, indexed by `Stage as usize`.
+    by_stage: [Vec<u64>; 5],
+    /// Sorted five-stage sums, µs.
+    e2e: Vec<u64>,
+}
+
+fn stage_breakdown(low: u64, high: u64) -> StageBreakdown {
+    let mut traces: HashMap<u64, Vec<SpanRecord>> = HashMap::new();
+    for rec in span_snapshot() {
+        if rec.trace_id > low && rec.trace_id < high {
+            traces.entry(rec.trace_id).or_default().push(rec);
+        }
+    }
+    let mut by_stage: [Vec<u64>; 5] = Default::default();
+    let mut e2e = Vec::new();
+    for spans in traces.values() {
+        // Only complete traces attribute: a request whose spans were
+        // partially overwritten by the ring wrap would skew the shares.
+        let mut durs = [0u64; 5];
+        let mut seen = [false; 5];
+        for s in spans {
+            seen[s.stage as usize] = true;
+            durs[s.stage as usize] = s.dur_us;
+        }
+        if spans.len() != 5 || seen != [true; 5] {
+            continue;
+        }
+        for (samples, dur) in by_stage.iter_mut().zip(durs) {
+            samples.push(dur);
+        }
+        e2e.push(durs.iter().sum());
+    }
+    for samples in &mut by_stage {
+        samples.sort_unstable();
+    }
+    e2e.sort_unstable();
+    StageBreakdown { traces: e2e.len(), by_stage, e2e }
+}
+
+/// Nearest-rank percentile of a sorted µs sample, as a `Duration`.
+fn pct_us(sorted: &[u64], p: f64) -> Option<Duration> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    Some(Duration::from_micros(sorted[idx]))
+}
+
+fn mean_us(sorted: &[u64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted.iter().sum::<u64>() as f64 / sorted.len() as f64
+}
+
+/// The per-stage attribution table: where a request's latency went. The
+/// five shares sum to 100% by the contiguity contract (stage k+1 starts
+/// where stage k ended), so "e2e (sum)" *is* the end-to-end latency.
+fn print_stage_table(label: &str, b: &StageBreakdown) {
+    println!("per-stage latency attribution ({label}; {} complete traces):", b.traces);
+    println!("{:<12} {:>9} {:>9} {:>9} {:>7}", "stage", "mean", "p50", "p99", "share");
+    let e2e_mean = mean_us(&b.e2e);
+    for stage in Stage::ALL {
+        let samples = &b.by_stage[stage as usize];
+        let m = mean_us(samples);
+        println!(
+            "{:<12} {:>9} {:>9} {:>9} {:>6.1}%",
+            stage.name(),
+            fmt_latency(Some(Duration::from_secs_f64(m / 1e6))),
+            fmt_latency(pct_us(samples, 0.50)),
+            fmt_latency(pct_us(samples, 0.99)),
+            if e2e_mean > 0.0 { 100.0 * m / e2e_mean } else { 0.0 },
+        );
+    }
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>6.0}%",
+        "e2e (sum)",
+        fmt_latency(Some(Duration::from_secs_f64(e2e_mean / 1e6))),
+        fmt_latency(pct_us(&b.e2e, 0.50)),
+        fmt_latency(pct_us(&b.e2e, 0.99)),
+        100.0,
+    );
+}
+
+/// The aggregate (label-free) sample named `name`, or panic — the admin
+/// smoke treats a missing series as a broken telemetry surface.
+fn aggregate<'a>(samples: &'a [Sample], name: &str) -> &'a Sample {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.labels.is_empty())
+        .unwrap_or_else(|| panic!("admin exposition misses {name}"))
 }
 
 // ---------------------------------------------------------------- act 2 --
@@ -396,6 +508,19 @@ fn main() {
         &load,
         Some(retrained),
     );
+    // The traced pass: same coalesced config, stage spans on. Its wall
+    // delta vs the untraced coalesced pass is the measured tracing
+    // overhead (docs/PERFORMANCE.md's tracing-overhead row).
+    set_tracing(true);
+    let act1_low = mint_trace_id();
+    let traced = run_pass(
+        "traced",
+        &registry,
+        ServerConfig { max_batch: 64, ..ServerConfig::default() },
+        &load,
+        None,
+    );
+    let act1_high = mint_trace_id();
 
     let total = clients * requests;
     println!();
@@ -403,7 +528,7 @@ fn main() {
         "{:<11} {:>9} {:>9} {:>9} {:>9} {:>11} {:>10}",
         "mode", "total", "req/s", "p50", "p99", "mean batch", "batches>1"
     );
-    for pass in [&uncoalesced, &coalesced] {
+    for pass in [&uncoalesced, &coalesced, &traced] {
         assert_eq!(pass.answered, total, "{}: dropped queries", pass.label);
         println!(
             "{:<11} {:>9.2?} {:>9.0} {:>9} {:>9} {:>11.2} {:>10}",
@@ -418,13 +543,40 @@ fn main() {
     }
     let inproc_rps = total as f64 / coalesced.wall.as_secs_f64();
     println!(
-        "\ncoalescing sped total wall time up {:.2}x\n",
+        "\ncoalescing sped total wall time up {:.2}x; tracing overhead on the \
+         coalesced pass: {:+.1}%\n",
         uncoalesced.wall.as_secs_f64() / coalesced.wall.as_secs_f64(),
+        100.0 * (traced.wall.as_secs_f64() / coalesced.wall.as_secs_f64() - 1.0),
+    );
+
+    // Attribution: every answered request of the traced pass left a
+    // complete five-stage trace, and the five durations sum to the
+    // end-to-end latency the server's histogram measured.
+    let act1_spans = stage_breakdown(act1_low, act1_high);
+    if total * 5 <= stone_repro::obs::trace::SPAN_RING_CAPACITY {
+        assert_eq!(act1_spans.traces, total, "every traced request left a complete trace");
+    }
+    print_stage_table("act 1 traced pass", &act1_spans);
+    let span_p50 = pct_us(&act1_spans.e2e, 0.50).expect("traced pass recorded spans");
+    let hist_p50 = traced.stats.p50().expect("traced pass populated the latency histogram");
+    let slack = Duration::from_micros(200);
+    assert!(
+        span_p50 <= hist_p50 * 2 + slack && hist_p50 <= span_p50 * 2 + slack,
+        "stage-sum p50 {span_p50:?} inconsistent with histogram p50 {hist_p50:?}"
+    );
+    println!(
+        "stage sums agree with the e2e histogram: span p50 {} vs histogram p50 {}\n",
+        fmt_latency(Some(span_p50)),
+        fmt_latency(Some(hist_p50)),
     );
 
     // Act 2: the same registry behind the TCP front-end, under an open-loop
     // fleet. Offered load: venues × clients × rate, regardless of how fast
-    // the server answers.
+    // the server answers. Tracing stays on unless LOADGEN_TRACE=0 — the
+    // clients mint trace ids that ride the v3 wire into the server's spans.
+    let fleet_tracing = std::env::var("LOADGEN_TRACE").map_or(true, |v| v != "0");
+    set_tracing(fleet_tracing);
+    let act2_low = mint_trace_id();
     let mix = device_mix();
     let server = match &remote_addr {
         Some(_) => None,
@@ -494,7 +646,43 @@ fn main() {
         per_venue
     });
     let fleet_wall = fleet_start.elapsed();
+    let act2_high = mint_trace_id();
+
+    // Admin smoke over the wire, before the server goes away: the stats
+    // exposition must parse strictly and the span ledger must balance.
+    // The WriteBack span of a request is recorded *after* its reply is
+    // sent, so give the executors a beat to finish the last bookkeeping.
+    if server.is_some() {
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    let admin_stats = server.as_ref().map(|s| {
+        let mut admin = NetClient::connect(s.local_addr()).expect("admin connect");
+        admin.set_read_timeout(Some(Duration::from_secs(10))).expect("admin read timeout");
+        admin.fetch_stats().expect("admin stats over TCP")
+    });
+    if let Some(text) = &admin_stats {
+        let samples = parse_exposition(text).expect("admin exposition parses strictly");
+        let opened = aggregate(&samples, "stone_trace_spans_opened_total").value;
+        let closed = aggregate(&samples, "stone_trace_spans_closed_total").value;
+        assert!(
+            (opened - closed).abs() < 0.5,
+            "span ledger unbalanced over the wire: opened {opened} closed {closed}"
+        );
+        let decoded = aggregate(&samples, "stone_net_requests_decoded_total").value;
+        println!(
+            "admin stats over TCP: {} samples parsed, {decoded:.0} frames decoded, \
+             span ledger balanced at {opened:.0}",
+            samples.len(),
+        );
+    }
     let ledger = server.map(|mut s| (s.serve_stats(), s.shutdown()));
+    if fleet_tracing {
+        let fleet_spans = stage_breakdown(act2_low, act2_high);
+        if fleet_spans.traces > 0 {
+            println!();
+            print_stage_table("act 2 fleet, newest ring window", &fleet_spans);
+        }
+    }
 
     println!();
     println!(

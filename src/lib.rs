@@ -4,6 +4,8 @@
 //! subsystem so that examples and downstream users can depend on a single
 //! crate:
 //!
+//! * [`obs`] — tracing, metrics and kernel-profiling substrate
+//!   (`STONE_TRACE` / `STONE_PROF`);
 //! * [`par`] — dependency-free scoped data parallelism (`STONE_THREADS`);
 //! * [`tensor`] — dense `f32` tensors and small linear algebra;
 //! * [`nn`] — layer-based neural networks with manual backprop;
@@ -25,6 +27,7 @@ pub use stone_dataset as dataset;
 pub use stone_eval as eval;
 pub use stone_net as net;
 pub use stone_nn as nn;
+pub use stone_obs as obs;
 pub use stone_par as par;
 pub use stone_radio as radio;
 pub use stone_serve as serve;
